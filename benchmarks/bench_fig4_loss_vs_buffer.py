@@ -1,0 +1,84 @@
+"""Figure 4 — steady-state loss probability vs. buffer size.
+
+Four panels, λ=1, μ₁=15, ξ₁=20, buffer size 2..30:
+
+- (a) very slow degradation of both rates;
+- (b) both rates degrade as ``1/k``;
+- (c) only ξ degrades (the adverse case);
+- (d) only μ degrades (better than (c)).
+
+Asserted shapes (the paper's remarks):
+
+- (a): larger buffers reduce the loss probability significantly;
+- (b), (c): the loss probability decreases, then *increases* again as
+  queues grow and processing degrades;
+- (d) beats (c): degrading μ (the producer of recovery units) is better
+  than degrading ξ (the drain).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markov.degradation import fig4_cases
+from repro.markov.design import sweep_buffer_sizes
+from repro.report.series import Series, format_series
+
+LAMBDA, MU1, XI1 = 1.0, 15.0, 20.0
+SIZES = list(range(2, 31))
+
+
+def compute_fig4():
+    """Loss-probability series for all four (f, g) panels."""
+    series = []
+    for panel, (f, g) in sorted(fig4_cases(MU1, XI1).items()):
+        losses = sweep_buffer_sizes(LAMBDA, f, g, sizes=SIZES)
+        s = Series(f"({panel}) mu={f.name}, xi={g.name}")
+        for n in SIZES:
+            s.add(n, losses[n])
+        series.append(s)
+    return series
+
+
+@pytest.fixture(scope="module")
+def fig4_series():
+    return compute_fig4()
+
+
+def test_fig4_reproduction(fig4_series, save_table, benchmark):
+    benchmark.pedantic(compute_fig4, rounds=1, iterations=1)
+    panel = {s.label[1]: s for s in fig4_series}
+
+    # (a) slow degradation: bigger buffers keep reducing the loss.
+    a = panel["a"].ys
+    assert a[0] > a[-1]
+    assert a[-1] < 1e-3
+    assert all(x >= y - 1e-12 for x, y in zip(a, a[1:]))
+
+    # (b) 1/k degradation on both rates: U-shape — an interior optimum
+    # strictly better than both small and very large buffers.
+    b = panel["b"].ys
+    best = min(b)
+    assert best < b[0]
+    assert b[-1] > best
+
+    # (c) only ξ degrades: same qualitative U / rise for large buffers.
+    c = panel["c"].ys
+    assert min(c) < c[0]
+
+    # (d) μ degrades faster than ξ — better than the contrary case (c):
+    # slowing the producer of recovery units keeps the drain fast, so
+    # the loss stays orders of magnitude lower as buffers grow.
+    d = panel["d"].ys
+    assert d[-1] < c[-1] / 10
+    assert max(d) < max(c)
+
+    save_table(
+        "fig4_loss_vs_buffer",
+        format_series(
+            "Figure 4: steady-state loss probability vs buffer size "
+            f"(lambda={LAMBDA}, mu1={MU1}, xi1={XI1})",
+            fig4_series,
+            x_label="buffer",
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Figure 5(a)/(b) — steady-state behaviour vs. attack rate λ.
+
+μ₁=15, ξ₁=20, μ_k=μ₁/k, ξ_k=ξ₁/k, buffer size 15; λ sweeps 0..4.
+
+Asserted shapes (the paper's Case 2 remarks):
+
+- λ < 1 ⇒ P(NORMAL) > 0.8, negligible loss, expected queues < 1;
+- λ > 1.5 ⇒ loss probability and P(SCAN) rise sharply; performance for
+  normal tasks degrades almost completely;
+- the recovery-task queue saturates (it is the critical buffer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markov.metrics import (
+    category_probabilities,
+    expected_alerts,
+    expected_recovery_units,
+    loss_probability,
+)
+from repro.markov.steady_state import steady_state
+from repro.markov.stg import RecoverySTG, StateCategory
+from repro.report.series import Series, format_series
+
+LAMBDAS = [0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
+MU1, XI1, BUFFER = 15.0, 20.0, 15
+
+
+def compute_fig5_lambda():
+    """Category probabilities, loss and expected queue lengths vs λ."""
+    out = {
+        "P(NORMAL)": Series("P(NORMAL)"),
+        "P(SCAN)": Series("P(SCAN)"),
+        "P(RECOVERY)": Series("P(RECOVERY)"),
+        "loss": Series("loss probability"),
+        "E[alerts]": Series("E[alerts]"),
+        "E[units]": Series("E[recovery units]"),
+    }
+    for lam in LAMBDAS:
+        stg = RecoverySTG.paper_default(
+            arrival_rate=lam, mu1=MU1, xi1=XI1, buffer_size=BUFFER
+        )
+        pi = steady_state(stg.ctmc())
+        cats = category_probabilities(stg, pi)
+        out["P(NORMAL)"].add(lam, cats[StateCategory.NORMAL])
+        out["P(SCAN)"].add(lam, cats[StateCategory.SCAN])
+        out["P(RECOVERY)"].add(lam, cats[StateCategory.RECOVERY])
+        out["loss"].add(lam, loss_probability(stg, pi))
+        out["E[alerts]"].add(lam, expected_alerts(stg, pi))
+        out["E[units]"].add(lam, expected_recovery_units(stg, pi))
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig5(request):
+    return compute_fig5_lambda()
+
+
+def test_fig5_lambda_reproduction(fig5, save_table, benchmark):
+    benchmark.pedantic(compute_fig5_lambda, rounds=1, iterations=1)
+
+    # λ < 1: healthy system.
+    for lam in (0.1, 0.25, 0.5, 0.75, 1.0):
+        assert fig5["P(NORMAL)"].y_at(lam) > 0.8, lam
+        assert fig5["loss"].y_at(lam) < 0.05, lam
+        assert fig5["E[alerts]"].y_at(lam) < 1.0
+        assert fig5["E[units]"].y_at(lam) < 1.0
+
+    # λ > 1.5: collapse — loss and SCAN probability rise very quickly.
+    for lam in (2.0, 3.0, 4.0):
+        assert fig5["P(NORMAL)"].y_at(lam) < 0.01, lam
+        assert fig5["P(SCAN)"].y_at(lam) > 0.9, lam
+        assert fig5["loss"].y_at(lam) > 0.5, lam
+
+    # The recovery queue is the saturating buffer.
+    assert fig5["E[units]"].y_at(4.0) > 0.9 * BUFFER
+
+    # Monotone degradation in λ.
+    normals = fig5["P(NORMAL)"].ys
+    assert all(a >= b - 1e-9 for a, b in zip(normals, normals[1:]))
+    losses = fig5["loss"].ys
+    assert all(a <= b + 1e-9 for a, b in zip(losses, losses[1:]))
+
+    save_table(
+        "fig5_lambda",
+        format_series(
+            "Figure 5(a,b): steady state vs lambda "
+            f"(mu1={MU1}, xi1={XI1}, buffer={BUFFER})",
+            list(fig5.values()),
+            x_label="lambda",
+        ),
+    )

@@ -1,0 +1,88 @@
+"""Figure 5(c)/(d) — steady-state behaviour vs. the base scan rate μ₁.
+
+λ=1, ξ₁=20, μ_k=μ₁/k, ξ_k=ξ₁/k, buffer 15; μ₁ sweeps (0, 20].
+
+Asserted shapes (Case 3 remarks): large enough μ₁ (≳15) gives
+P(NORMAL) > 0.8 (degradation < 20 %); beyond that, increasing μ₁ brings
+no significant further improvement (a cost-effective range exists);
+a starved analyzer (small μ₁) collapses the system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markov.metrics import (
+    category_probabilities,
+    expected_alerts,
+    expected_recovery_units,
+    loss_probability,
+)
+from repro.markov.steady_state import steady_state
+from repro.markov.stg import RecoverySTG, StateCategory
+from repro.report.series import Series, format_series
+
+MUS = [0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 12.0, 15.0, 18.0, 20.0]
+LAM, XI1, BUFFER = 1.0, 20.0, 15
+
+
+def compute_fig5_mu():
+    out = {
+        "P(NORMAL)": Series("P(NORMAL)"),
+        "P(SCAN)": Series("P(SCAN)"),
+        "P(RECOVERY)": Series("P(RECOVERY)"),
+        "loss": Series("loss probability"),
+        "E[alerts]": Series("E[alerts]"),
+        "E[units]": Series("E[recovery units]"),
+    }
+    for mu1 in MUS:
+        stg = RecoverySTG.paper_default(
+            arrival_rate=LAM, mu1=mu1, xi1=XI1, buffer_size=BUFFER
+        )
+        pi = steady_state(stg.ctmc())
+        cats = category_probabilities(stg, pi)
+        out["P(NORMAL)"].add(mu1, cats[StateCategory.NORMAL])
+        out["P(SCAN)"].add(mu1, cats[StateCategory.SCAN])
+        out["P(RECOVERY)"].add(mu1, cats[StateCategory.RECOVERY])
+        out["loss"].add(mu1, loss_probability(stg, pi))
+        out["E[alerts]"].add(mu1, expected_alerts(stg, pi))
+        out["E[units]"].add(mu1, expected_recovery_units(stg, pi))
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig5mu():
+    return compute_fig5_mu()
+
+
+def test_fig5_mu_reproduction(fig5mu, save_table, benchmark):
+    benchmark.pedantic(compute_fig5_mu, rounds=1, iterations=1)
+
+    # Large μ₁ (≥ 15): system healthy, degradation < 20 %.
+    for mu1 in (15.0, 18.0, 20.0):
+        assert fig5mu["P(NORMAL)"].y_at(mu1) > 0.8, mu1
+        assert fig5mu["loss"].y_at(mu1) < 0.05, mu1
+
+    # Starved analyzer: collapse.
+    assert fig5mu["P(NORMAL)"].y_at(0.5) < 0.4
+    assert fig5mu["loss"].y_at(0.5) > 0.3
+
+    # Diminishing returns past ≈15 — no significant improvement.
+    gain = (
+        fig5mu["P(NORMAL)"].y_at(20.0) - fig5mu["P(NORMAL)"].y_at(15.0)
+    )
+    assert gain < 0.05
+
+    # Monotone improvement with μ₁.
+    normals = fig5mu["P(NORMAL)"].ys
+    assert all(a <= b + 1e-9 for a, b in zip(normals, normals[1:]))
+
+    save_table(
+        "fig5_mu",
+        format_series(
+            f"Figure 5(c,d): steady state vs mu1 (lambda={LAM}, "
+            f"xi1={XI1}, buffer={BUFFER})",
+            list(fig5mu.values()),
+            x_label="mu1",
+        ),
+    )

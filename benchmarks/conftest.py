@@ -1,0 +1,37 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Every benchmark regenerates the data behind one of the paper's figures
+(or an extension experiment), asserts the paper's qualitative claims
+about its shape, prints the series as a text table, and appends it to
+``benchmarks/results/`` so EXPERIMENTS.md can quote the numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Print a rendered table and persist it under results/."""
+
+    def _save(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

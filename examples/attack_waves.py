@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Sequential attack waves: healing across epochs.
+
+A long-lived system is attacked more than once.  Each recovery must
+trust the *previous* recovery's results — not re-derive the world from
+the original initial data.  The :class:`~repro.core.epochs.EpochManager`
+provides that lifecycle: heal, roll the epoch (the healed store becomes
+the next trusted baseline), keep running.
+
+The scenario: a payment counter accumulates transfers.
+
+- Epoch 1: the attacker forges one transfer amount → heal.
+- Epoch 2: more transfers arrive; a *second* attack steers an approval
+  branch using the counter → heal again.
+- The end-to-end audit replays everything (both epochs) from the
+  original data and confirms strict correctness.
+
+Run:  python examples/attack_waves.py
+"""
+
+from repro.core.epochs import EpochManager
+from repro.ids.attacks import AttackCampaign
+from repro.workflow.data import DataStore
+from repro.workflow.spec import workflow
+
+
+def transfer(name: str, amount_key: str):
+    return (
+        workflow(f"transfer_{name}")
+        .task("post", reads=[amount_key, "total"],
+              writes=["total", f"receipt_{name}"],
+              compute=lambda d: {
+                  "total": d["total"] + d[amount_key],
+                  f"receipt_{name}": d[amount_key],
+              })
+        .build()
+    )
+
+
+def audit_gate():
+    return (
+        workflow("audit_gate")
+        .task("inspect", reads=["total"], writes=["flagged"],
+              compute=lambda d: {"flagged": 1 if d["total"] > 500 else 0},
+              choose=lambda d: "freeze" if d["flagged"] else "clear")
+        .task("freeze", reads=[], writes=["status"],
+              compute=lambda d: {"status": "FROZEN"})
+        .task("clear", reads=[], writes=["status"],
+              compute=lambda d: {"status": "clear"})
+        .edge("inspect", "freeze").edge("inspect", "clear")
+        .build()
+    )
+
+
+def main() -> None:
+    initial = {
+        "total": 0, "amt_a": 100, "amt_b": 50, "amt_c": 70,
+        "receipt_a": 0, "receipt_b": 0, "receipt_c": 0,
+        "flagged": 0, "status": "",
+    }
+    mgr = EpochManager(DataStore(initial), initial)
+
+    # ---- Epoch 1: forged transfer amount --------------------------------
+    wave1 = AttackCampaign().transform_task(
+        "post", lambda i, o: {k: (v + 900 if k == "total" else v)
+                              for k, v in o.items()},
+        workflow_instance="t_a",
+    )
+    mgr.run_workflow_attacked(transfer("a", "amt_a"), wave1, name="t_a")
+    print(f"epoch 1 under attack: total = {mgr.store.read('total')} "
+          "(should be 100)")
+    report1 = mgr.heal(wave1.malicious_uids)
+    print(f"epoch 1 healed     : total = {mgr.store.read('total')} | "
+          f"{report1.summary()}")
+
+    # ---- Epoch 2: normal work + a branch-steering attack -----------------
+    mgr.run_workflow(transfer("b", "amt_b"), name="t_b")     # total 150
+    wave2 = AttackCampaign().transform_task(
+        "post", lambda i, o: {k: (v + 800 if k == "total" else v)
+                              for k, v in o.items()},
+        workflow_instance="t_c",
+    )
+    mgr.run_workflow_attacked(transfer("c", "amt_c"), wave2, name="t_c")
+    mgr.run_workflow(audit_gate(), name="gate")
+    print(f"\nepoch 2 under attack: total = {mgr.store.read('total')}, "
+          f"account status = {mgr.store.read('status')!r} "
+          "(wrongly frozen)")
+
+    report2 = mgr.heal(wave2.malicious_uids)
+    print(f"epoch 2 healed     : total = {mgr.store.read('total')}, "
+          f"account status = {mgr.store.read('status')!r} | "
+          f"{report2.summary()}")
+
+    audit = mgr.audit()
+    print(f"\nend-to-end audit across {mgr.epoch} epochs: {audit.ok}")
+    assert mgr.store.read("total") == 220      # 100 + 50 + 70
+    assert mgr.store.read("status") == "clear"
+    assert audit.ok
+
+
+if __name__ == "__main__":
+    main()

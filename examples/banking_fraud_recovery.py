@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Banking fraud: undoing a forged transfer and its collateral damage.
+
+The paper's introduction motivates attack recovery with forged bank
+transactions.  Here the attacker uses stolen credentials to move 80
+from Alice to Mallory.  The theft has a second-order effect: Alice's
+*legitimate* transfer to Bob is rejected for insufficient funds.
+
+Recovery (undo-only for the forged run — Axiom 1 condition 1) restores
+the balances **and** re-decides the legitimate transfer's validation
+branch: after healing, Alice's transfer to Bob is approved, as if the
+theft never happened.
+
+Run:  python examples/banking_fraud_recovery.py
+"""
+
+from repro.scenarios.banking import build_banking
+
+
+def main() -> None:
+    scenario = build_banking()
+
+    print("=== Attacked state ===")
+    for name, value in scenario.balances().items():
+        print(f"  {name:<16}: {value}")
+    print(f"  alice→bob transfer rejected: "
+          f"{bool(scenario.store.read('rejected_ab'))}")
+    print(f"  ledger volume: {scenario.store.read('ledger')}")
+
+    report = scenario.heal_now()
+
+    print(f"\n=== Recovery === \n  {report.summary()}")
+    forged = [u for u in report.abandoned
+              if u.startswith("transfer_forged/")]
+    print(f"  forged tasks undone (never redone): {len(forged)}")
+    print(f"  re-decided: transfer_ab validate → "
+          f"{'approved' if not scenario.store.read('rejected_ab') else 'rejected'}")
+
+    print("\n=== Healed state ===")
+    for name, value in scenario.balances().items():
+        print(f"  {name:<16}: {value}")
+    print(f"  ledger volume: {scenario.store.read('ledger')}")
+    print(f"  strictly correct: {scenario.audit.ok}")
+
+    assert scenario.store.read("balance_mallory") == 0
+    assert scenario.store.read("balance_bob") == 60
+    assert scenario.audit.ok
+
+
+if __name__ == "__main__":
+    main()

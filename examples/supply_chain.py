@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Supply-chain case study: compound attack, compound recovery.
+
+Two simultaneous attacks hit a small supply chain:
+
+1. the attacker inflates the stock reading procurement relies on, so a
+   needed reorder is skipped — and later sales are wrongly backordered
+   when the real stock runs out;
+2. a forged sales order (stolen credentials) drains stock and books
+   fake revenue.
+
+One heal resolves everything: the forged order is undone outright, the
+procurement branch is re-decided (the reorder happens — a brand-new
+execution path), and every legitimate sale that was backordered is
+re-decided and fulfilled.
+
+Run:  python examples/supply_chain.py
+"""
+
+from repro.scenarios.supply_chain import build_supply_chain
+
+
+def main() -> None:
+    sc = build_supply_chain(n_sales=4)
+
+    print("=== Attacked day ===")
+    print(f"  figures : {sc.summary()}")
+    print(f"  reorder skipped      : {bool(sc.store.read('po_note'))}")
+    print(f"  forged sale invoiced : {sc.store.read('invoice_evil')}")
+    backordered = [
+        name for name in sc.sale_names
+        if sc.store.read(f"status_{name}")
+    ]
+    print(f"  legit sales backordered: {backordered}")
+
+    report = sc.heal_now()
+    print(f"\n=== Recovery ===\n  {report.summary()}")
+    print(f"  new executions (new paths): "
+          f"{sorted(report.new_executions)}")
+
+    print("\n=== Healed day ===")
+    print(f"  figures : {sc.summary()}")
+    print(f"  forged sale invoiced : {sc.store.read('invoice_evil')}")
+    fulfilled = [
+        name for name in sc.sale_names
+        if sc.store.read(f"invoice_{name}") > 0
+    ]
+    print(f"  legit sales fulfilled: {fulfilled}")
+    print(f"  strictly correct     : {sc.audit.ok}")
+
+    assert sc.audit.ok
+    assert sc.store.read("invoice_evil") == 0
+    assert len(fulfilled) == len(sc.sale_names)
+
+
+if __name__ == "__main__":
+    main()

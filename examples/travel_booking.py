@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Travel booking with forged credit-card data.
+
+The paper's second motivating attack: a booking whose card-submission
+task carries forged data, steering the verification branch to approve a
+reservation that should have been denied.  The corrupted booking
+consumes a seat and books revenue; honest bookings that follow read the
+corrupted seat count.
+
+Recovery redoes the submission with the genuine card number, re-decides
+the verification branch (deny), abandons the reserve/charge/confirm
+tasks, and repairs every honest booking's stale reads — without
+discarding the honest bookings themselves.
+
+Run:  python examples/travel_booking.py
+"""
+
+from repro.scenarios.travel import build_travel
+
+
+def main() -> None:
+    scenario = build_travel(n_honest_bookings=3)
+
+    print("=== Attacked state ===")
+    print(f"  seats left : {scenario.store.read('seats')} (of 10)")
+    print(f"  revenue    : {scenario.store.read('revenue')}")
+    print(f"  fraud booking confirmed: "
+          f"{bool(scenario.store.read('booked_fraud'))}")
+
+    report = scenario.heal_now()
+
+    print(f"\n=== Recovery ===\n  {report.summary()}")
+    fraud_abandoned = sorted(
+        u.split("/")[1].split("#")[0]
+        for u in report.abandoned if u.startswith("booking_fraud/")
+    )
+    print(f"  fraud tasks abandoned : {fraud_abandoned}")
+    print(f"  honest bookings kept + repaired: "
+          f"{len(report.kept)} kept, {len(report.redone)} redone")
+
+    print("\n=== Healed state ===")
+    print(f"  seats left : {scenario.store.read('seats')}")
+    print(f"  revenue    : {scenario.store.read('revenue')}")
+    print(f"  fraud denied: {bool(scenario.store.read('denied_fraud'))}")
+    for name in ("b0", "b1", "b2"):
+        print(f"  booking {name} confirmed: "
+              f"{bool(scenario.store.read(f'booked_{name}'))}")
+    print(f"  strictly correct: {scenario.audit.ok}")
+
+    assert scenario.store.read("seats") == 7
+    assert scenario.store.read("revenue") == 360
+    assert scenario.audit.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,336 @@
+"""Command-line interface.
+
+Exposes the library's main flows without writing code::
+
+    repro-workflow demo figure1          # the paper's worked example
+    repro-workflow demo banking          # forged transfer + recovery
+    repro-workflow demo travel           # forged card data + recovery
+    repro-workflow steady --lam 1.0      # Equation 1 for one config
+    repro-workflow transient --t 4       # Equations 2–3 over time
+    repro-workflow design --lam 1 --epsilon 0.01   # Section VI sizing
+    repro-workflow simulate --horizon 5000          # Gillespie run
+    repro-workflow stg-dot --buffer 3    # Figure 3 as Graphviz DOT
+
+Every command prints plain text tables (see ``--help`` per command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from repro.markov.degradation import power_law
+from repro.markov.design import design_system, peak_resilience
+from repro.markov.metrics import (
+    category_probabilities,
+    expected_alerts,
+    expected_lost_alerts,
+    expected_recovery_units,
+    loss_probability,
+)
+from repro.markov.steady_state import steady_state
+from repro.markov.stg import RecoverySTG, StateCategory
+from repro.markov.transient import transient_probabilities
+from repro.report.tables import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def _stg_from_args(args) -> RecoverySTG:
+    return RecoverySTG(
+        arrival_rate=args.lam,
+        scan=power_law(args.mu1, args.alpha),
+        recovery=power_law(args.xi1, args.alpha),
+        recovery_buffer=args.buffer,
+        alert_buffer=args.alert_buffer,
+    )
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--lam", type=float, default=1.0,
+                   help="IDS alert arrival rate λ (default 1.0)")
+    p.add_argument("--mu1", type=float, default=15.0,
+                   help="base alert-processing rate μ₁ (default 15)")
+    p.add_argument("--xi1", type=float, default=20.0,
+                   help="base recovery-execution rate ξ₁ (default 20)")
+    p.add_argument("--alpha", type=float, default=1.0,
+                   help="degradation exponent: rate_k = rate₁/k^α "
+                        "(default 1.0; 0 = no degradation)")
+    p.add_argument("--buffer", type=int, default=15,
+                   help="recovery-task buffer size (default 15)")
+    p.add_argument("--alert-buffer", type=int, default=None,
+                   help="alert buffer size (default: same as --buffer)")
+
+
+def cmd_demo(args) -> int:
+    """Run one of the built-in scenarios end to end."""
+    if args.scenario == "figure1":
+        from repro.scenarios.figure1 import Figure1Scenario, build_figure1
+
+        sc = build_figure1(attacked=True)
+        report = sc.heal_now()
+        T = Figure1Scenario.task_ids
+        print("System log:",
+              " ".join(str(r.instance) for r in sc.log.normal_records()))
+        print(report.summary())
+        for label, uids in (
+            ("undone", report.undone), ("redone", report.redone),
+            ("abandoned", report.abandoned),
+            ("new", report.new_executions), ("kept", report.kept),
+        ):
+            print(f"  {label:<10}: {' '.join(sorted(T(uids)))}")
+        print(f"strictly correct: {sc.audit.ok}")
+        return 0 if sc.audit.ok else 1
+    if args.scenario == "banking":
+        from repro.scenarios.banking import build_banking
+
+        sc = build_banking()
+        print("balances before heal:", sc.balances())
+        report = sc.heal_now()
+        print(report.summary())
+        print("balances after heal :", sc.balances())
+        print(f"strictly correct: {sc.audit.ok}")
+        return 0 if sc.audit.ok else 1
+    if args.scenario == "travel":
+        from repro.scenarios.travel import build_travel
+
+        sc = build_travel()
+        print(f"before heal: seats={sc.store.read('seats')} "
+              f"revenue={sc.store.read('revenue')}")
+        report = sc.heal_now()
+        print(report.summary())
+        print(f"after heal : seats={sc.store.read('seats')} "
+              f"revenue={sc.store.read('revenue')}")
+        print(f"strictly correct: {sc.audit.ok}")
+        return 0 if sc.audit.ok else 1
+    # supply-chain
+    from repro.scenarios.supply_chain import build_supply_chain
+
+    sc = build_supply_chain()
+    print(f"before heal: {sc.summary()}")
+    report = sc.heal_now()
+    print(report.summary())
+    print(f"after heal : {sc.summary()}")
+    print(f"strictly correct: {sc.audit.ok}")
+    return 0 if sc.audit.ok else 1
+
+
+def cmd_steady(args) -> int:
+    """Steady-state analysis of one configuration (Equation 1)."""
+    stg = _stg_from_args(args)
+    pi = steady_state(stg.ctmc())
+    cats = category_probabilities(stg, pi)
+    table = Table(f"Steady state of {stg!r}", ["metric", "value"])
+    for cat in StateCategory:
+        table.add_row(f"P({cat.value})", cats[cat])
+    table.add_row("loss probability", loss_probability(stg, pi))
+    table.add_row("E[alerts queued]", expected_alerts(stg, pi))
+    table.add_row("E[recovery units]", expected_recovery_units(stg, pi))
+    print(table.render())
+    return 0
+
+
+def cmd_transient(args) -> int:
+    """Transient analysis from NORMAL (Equations 2 and 3)."""
+    stg = _stg_from_args(args)
+    chain = stg.ctmc()
+    pi0 = stg.initial_distribution()
+    table = Table(
+        f"Transient behaviour of {stg!r} (start: NORMAL)",
+        ["t", "P(NORMAL)", "P(SCAN)", "P(RECOVERY)", "loss prob",
+         "E[lost alerts]"],
+    )
+    for t in args.t:
+        pi_t = transient_probabilities(chain, pi0, t)
+        cats = category_probabilities(stg, pi_t)
+        table.add_row(
+            t,
+            cats[StateCategory.NORMAL],
+            cats[StateCategory.SCAN],
+            cats[StateCategory.RECOVERY],
+            loss_probability(stg, pi_t),
+            expected_lost_alerts(stg, t),
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_design(args) -> int:
+    """Section VI: size a system for a target (λ, ε)."""
+    result = design_system(
+        arrival_rate=args.lam,
+        epsilon=args.epsilon,
+        scan=power_law(args.mu1, args.alpha),
+        recovery=power_law(args.xi1, args.alpha),
+        max_buffer=args.max_buffer,
+    )
+    table = Table(
+        f"Design sweep for lambda={args.lam}, epsilon={args.epsilon}",
+        ["buffer size", "steady-state loss"],
+    )
+    for n, loss in sorted(result.swept.items()):
+        table.add_row(n, loss)
+    print(table.render())
+    print()
+    print(result.summary())
+    if result.feasible and args.peak > 0:
+        stg = RecoverySTG(
+            arrival_rate=args.peak,
+            scan=power_law(args.mu1, args.alpha),
+            recovery=power_law(args.xi1, args.alpha),
+            recovery_buffer=result.buffer_size,
+        )
+        resist = peak_resilience(stg, epsilon=max(args.epsilon, 0.01),
+                                 horizon=30.0, step=0.25)
+        print(f"peak rate {args.peak}: withstands ~{resist:g} time units")
+    return 0 if result.feasible else 1
+
+
+def cmd_simulate(args) -> int:
+    """Exact Gillespie simulation of the configured STG."""
+    from repro.sim.ctmc_sim import GillespieSimulator
+
+    stg = _stg_from_args(args)
+    sim = GillespieSimulator(stg, random.Random(args.seed))
+    result = sim.run(horizon=args.horizon)
+    pi = steady_state(stg.ctmc())
+    cats = category_probabilities(stg, pi)
+    table = Table(
+        f"Gillespie simulation of {stg!r} (horizon {args.horizon:g}, "
+        f"seed {args.seed})",
+        ["metric", "analytic", "simulated"],
+    )
+    for cat in StateCategory:
+        table.add_row(
+            f"P({cat.value})", cats[cat],
+            result.category_occupancy.get(cat, 0.0),
+        )
+    table.add_row("loss probability", loss_probability(stg, pi),
+                  result.loss_time_fraction)
+    print(table.render())
+    print(f"\nalerts: {result.arrivals} generated, "
+          f"{result.arrivals_lost} lost "
+          f"({result.alert_loss_fraction:.2%}); {result.jumps} jumps")
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    """Elasticities of loss probability / P(NORMAL) at a design point."""
+    from repro.markov.sensitivity import (
+        loss_sensitivities,
+        normal_sensitivities,
+    )
+
+    loss = loss_sensitivities(
+        lam=args.lam, mu1=args.mu1, xi1=args.xi1,
+        buffer_size=args.buffer, alpha=args.alpha,
+    )
+    normal = normal_sensitivities(
+        lam=args.lam, mu1=args.mu1, xi1=args.xi1,
+        buffer_size=args.buffer, alpha=args.alpha,
+    )
+    table = Table(
+        f"Sensitivities at lambda={args.lam}, mu1={args.mu1}, "
+        f"xi1={args.xi1}, buffer={args.buffer}",
+        ["parameter", "elasticity of loss", "elasticity of P(NORMAL)"],
+    )
+    normals = {s.parameter: s for s in normal}
+    for s in loss:
+        table.add_row(s.parameter, s.elasticity,
+                      normals[s.parameter].elasticity)
+    print(table.render())
+    print(f"\nloss probability at design point: "
+          f"{loss[0].metric_at_base:.3e}")
+    print("(buffer row: relative change per extra slot, not an "
+          "elasticity)")
+    return 0
+
+
+def cmd_stg_dot(args) -> int:
+    """Print the STG (Figure 3) as Graphviz DOT."""
+    from repro.workflow.viz import stg_to_dot
+
+    print(stg_to_dot(_stg_from_args(args)))
+    return 0
+
+
+def cmd_workflow_dot(args) -> int:
+    """Render a JSON workflow document as Graphviz DOT."""
+    from repro.workflow.serialize import WorkflowDocument
+    from repro.workflow.viz import spec_to_dot
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    spec = WorkflowDocument.from_json(text).build()
+    print(spec_to_dot(spec))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-workflow",
+        description="Self-healing workflow systems under attacks "
+                    "(ICDCS 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help=cmd_demo.__doc__)
+    p.add_argument("scenario", choices=["figure1", "banking", "travel",
+                                        "supply-chain"])
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("steady", help=cmd_steady.__doc__)
+    _add_model_args(p)
+    p.set_defaults(fn=cmd_steady)
+
+    p = sub.add_parser("transient", help=cmd_transient.__doc__)
+    _add_model_args(p)
+    p.add_argument("--t", type=float, nargs="+",
+                   default=[0.5, 1.0, 2.0, 4.0],
+                   help="observation times (default: 0.5 1 2 4)")
+    p.set_defaults(fn=cmd_transient)
+
+    p = sub.add_parser("design", help=cmd_design.__doc__)
+    _add_model_args(p)
+    p.add_argument("--epsilon", type=float, default=0.01,
+                   help="target steady-state loss probability")
+    p.add_argument("--max-buffer", type=int, default=30)
+    p.add_argument("--peak", type=float, default=0.0,
+                   help="also stress the design at this peak rate")
+    p.set_defaults(fn=cmd_design)
+
+    p = sub.add_parser("simulate", help=cmd_simulate.__doc__)
+    _add_model_args(p)
+    p.add_argument("--horizon", type=float, default=10_000.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("sensitivity", help=cmd_sensitivity.__doc__)
+    _add_model_args(p)
+    p.set_defaults(fn=cmd_sensitivity)
+
+    p = sub.add_parser("stg-dot", help=cmd_stg_dot.__doc__)
+    _add_model_args(p)
+    p.set_defaults(fn=cmd_stg_dot)
+
+    p = sub.add_parser("workflow-dot", help=cmd_workflow_dot.__doc__)
+    p.add_argument("file", help="workflow JSON document ('-' for stdin)")
+    p.set_defaults(fn=cmd_workflow_dot)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

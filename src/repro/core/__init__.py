@@ -1,0 +1,61 @@
+"""Attack recovery core — the paper's primary contribution.
+
+This package implements Section III (theories of recovery) and Section IV
+(the recovery system):
+
+- :mod:`repro.core.actions` — undo/redo/normal recovery actions;
+- :mod:`repro.core.undo_redo` — Theorem 1 (undo tasks) and Theorem 2
+  (redo tasks), including the *candidate* sets resolved only after redos;
+- :mod:`repro.core.partial_orders` — Theorem 3 (orders among recovery
+  tasks) and Theorem 4 (orders between recovery and normal tasks);
+- :mod:`repro.core.plan` — a schedulable recovery plan;
+- :mod:`repro.core.analyzer` — the recovery analyzer of Figure 2, turning
+  IDS alerts into recovery plans;
+- :mod:`repro.core.healer` — the operational self-healing executor that
+  resolves candidates by re-execution and repairs the store and log;
+- :mod:`repro.core.axioms` — Axiom 1 and the strict-correctness audit of
+  Definition 2;
+- :mod:`repro.core.strategies` — the three recovery strategies of
+  Section III-D.
+"""
+
+from repro.core.actions import Action, ActionKind
+from repro.core.analyzer import RecoveryAnalyzer
+from repro.core.axioms import (
+    CorrectnessReport,
+    audit_strict_correctness,
+    generates_incorrect_data,
+)
+from repro.core.concurrent import StrategyOutcome, run_strategy
+from repro.core.epochs import EpochManager
+from repro.core.healer import HealReport, Healer
+from repro.core.partial_orders import recovery_partial_order
+from repro.core.plan import RecoveryPlan
+from repro.core.strategies import RecoveryStrategy
+from repro.core.undo_redo import (
+    RedoAnalysis,
+    UndoAnalysis,
+    find_redo_tasks,
+    find_undo_tasks,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "UndoAnalysis",
+    "RedoAnalysis",
+    "find_undo_tasks",
+    "find_redo_tasks",
+    "recovery_partial_order",
+    "RecoveryPlan",
+    "RecoveryAnalyzer",
+    "Healer",
+    "HealReport",
+    "RecoveryStrategy",
+    "audit_strict_correctness",
+    "generates_incorrect_data",
+    "CorrectnessReport",
+    "EpochManager",
+    "StrategyOutcome",
+    "run_strategy",
+]

@@ -1,0 +1,56 @@
+"""Recovery actions.
+
+Recovery manipulates three kinds of actions over task instances:
+
+- ``undo(t)`` — remove ``t``'s effects by restoring the last clean version
+  of every object it wrote;
+- ``redo(t)`` — re-execute ``t``'s genuine code against the repaired store;
+- normal — an ordinary workflow task scheduled alongside recovery
+  (Theorem 4 constrains when it may run).
+
+Actions are hashable values; the partial orders of Theorems 3/4 are built
+over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["ActionKind", "Action"]
+
+
+class ActionKind(str, Enum):
+    """What a recovery action does to its task instance."""
+
+    UNDO = "undo"
+    REDO = "redo"
+    NORMAL = "normal"
+
+
+@dataclass(frozen=True, order=True)
+class Action:
+    """One schedulable action over the task instance ``uid``."""
+
+    kind: ActionKind
+    uid: str
+
+    @staticmethod
+    def undo(uid: str) -> "Action":
+        """The action ``undo(uid)``."""
+        return Action(ActionKind.UNDO, uid)
+
+    @staticmethod
+    def redo(uid: str) -> "Action":
+        """The action ``redo(uid)``."""
+        return Action(ActionKind.REDO, uid)
+
+    @staticmethod
+    def normal(uid: str) -> "Action":
+        """An ordinary (non-recovery) execution of ``uid``."""
+        return Action(ActionKind.NORMAL, uid)
+
+    def __str__(self) -> str:
+        if self.kind == ActionKind.NORMAL:
+            return self.uid
+        return f"{self.kind.value}({self.uid})"

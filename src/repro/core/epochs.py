@@ -1,0 +1,169 @@
+"""Multi-epoch operation: healing across sequential attack waves.
+
+The :class:`~repro.core.healer.Healer` treats the log's normal records
+as the authoritative history of *one epoch* — the paper's recovery also
+runs once the alert queue has drained.  Real systems live longer than
+one burst: new workflows run after a recovery, new attacks hit them, and
+the next recovery must trust the previous recovery's results rather than
+re-derive the world from the original initial data.
+
+:class:`EpochManager` provides that lifecycle:
+
+- workflows execute through engines bound to the current epoch's log;
+- ``heal()`` runs the healer against the current epoch and then *rolls*
+  the epoch: the healed log is archived, a fresh empty log begins, and
+  the current (healed) store versions become the next epoch's trusted
+  baseline — later heals measure damage against them, exactly as the
+  first heal measures damage against the initial data;
+- a combined history across all epochs supports end-to-end
+  strict-correctness audits against the original initial data.
+
+One consequence of rolling: alerts naming instances of an already-rolled
+epoch are ignored by later heals (their log is archived).  Process every
+alert of a burst *before* rolling — which is precisely the paper's
+operating discipline: recovery starts only once the alert queue has
+drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.axioms import (
+    CorrectnessReport,
+    HistoryStep,
+    audit_strict_correctness,
+)
+from repro.core.healer import HealReport, Healer
+from repro.errors import RecoveryError
+from repro.workflow.data import DataStore
+from repro.workflow.engine import Engine
+from repro.workflow.log import SystemLog
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = ["EpochManager"]
+
+
+class EpochManager:
+    """Owns a store and a sequence of log epochs.
+
+    Parameters
+    ----------
+    store:
+        The (shared, versioned) data store.
+    initial_data:
+        The store's contents at creation — the ground truth for the
+        combined audit.
+    """
+
+    def __init__(self, store: DataStore,
+                 initial_data: Mapping[str, Any]) -> None:
+        self._store = store
+        self._initial_data = dict(initial_data)
+        self._log = SystemLog()
+        self._specs: Dict[str, WorkflowSpec] = {}
+        self._baseline: Optional[Dict[str, int]] = None
+        self._epoch = 0
+        self._archived: List[SystemLog] = []
+        self._combined_history: List[HistoryStep] = []
+        self._instance_seq = 0
+
+    # -- running workflows ---------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Index of the current epoch (0 before any heal)."""
+        return self._epoch
+
+    @property
+    def store(self) -> DataStore:
+        """The shared data store."""
+        return self._store
+
+    @property
+    def log(self) -> SystemLog:
+        """The current epoch's log."""
+        return self._log
+
+    @property
+    def archived_logs(self) -> List[SystemLog]:
+        """Logs of completed epochs, oldest first."""
+        return list(self._archived)
+
+    @property
+    def specs_by_instance(self) -> Dict[str, WorkflowSpec]:
+        """Spec of every workflow instance run so far (all epochs)."""
+        return dict(self._specs)
+
+    def new_engine(self) -> Engine:
+        """An engine bound to the current epoch's log.
+
+        Engines from earlier epochs must not be reused after a heal —
+        they hold the archived log.
+        """
+        return Engine(self._store, self._log)
+
+    def run_workflow(self, spec: WorkflowSpec,
+                     name: Optional[str] = None) -> str:
+        """Run one workflow instance to completion in the current epoch;
+        returns its instance id."""
+        return self.run_workflow_attacked(spec, tamper=None, name=name)
+
+    def run_workflow_attacked(self, spec: WorkflowSpec, tamper=None,
+                              name: Optional[str] = None) -> str:
+        """Like :meth:`run_workflow`, with an optional tamper hook."""
+        if name is None:
+            name = f"e{self._epoch}.wf{self._instance_seq}"
+        self._instance_seq += 1
+        if name in self._specs:
+            raise RecoveryError(
+                f"workflow instance {name!r} already exists (instance ids "
+                "must be unique across epochs)"
+            )
+        engine = self.new_engine()
+        run = engine.new_run(spec, name)
+        engine.run_to_completion(run, tamper=tamper)
+        self._specs[name] = spec
+        return name
+
+    # -- healing ----------------------------------------------------------------
+
+    def heal(self, malicious, forged_runs=()) -> HealReport:
+        """Heal the current epoch, then roll to the next one."""
+        healer = Healer(
+            self._store, self._log, self._specs, baseline=self._baseline
+        )
+        report = healer.heal(malicious, forged_runs=forged_runs)
+        self._combined_history.extend(report.final_history)
+        self._roll_epoch(report)
+        return report
+
+    def _roll_epoch(self, report: HealReport) -> None:
+        """Archive the healed log and open a fresh epoch."""
+        self._archived.append(self._log)
+        self._log = SystemLog()
+        # The current (healed) store versions become the next epoch's
+        # trusted baseline ("the last version before the next attack").
+        self._baseline = {
+            name: self._store.latest(name).number
+            for name in self._store.names()
+        }
+        self._epoch += 1
+
+    # -- auditing ---------------------------------------------------------------
+
+    @property
+    def combined_history(self) -> Tuple[HistoryStep, ...]:
+        """Healed history accumulated across all completed epochs."""
+        return tuple(self._combined_history)
+
+    def audit(self) -> CorrectnessReport:
+        """Audit the accumulated healed history against the *original*
+        initial data (Definition 2, end to end across epochs)."""
+        return audit_strict_correctness(
+            self._specs,
+            self._initial_data,
+            self.combined_history,
+            self._store.snapshot(),
+        )

@@ -1,0 +1,154 @@
+"""Theorem 3 and Theorem 4 — partial orders over recovery actions.
+
+Theorem 3 constrains recovery actions against each other; Theorem 4
+constrains pending *normal* tasks against recovery actions (with
+single-copy data, a normal task touching recovered data must wait for the
+recovery of that data).  The rules, with ``→`` any data/control dependence:
+
+========  =====================================================================
+Rule      Constraint
+========  =====================================================================
+T3.1      ``t_i ≺ t_j`` (log) ⇒ ``redo(t_i) ≺ redo(t_j)``
+T3.2      ``t_i → t_j`` ⇒ ``redo(t_i) ≺ redo(t_j)``
+T3.3      ``undo(t) ≺ redo(t)``
+T3.4      ``t_i →a t_j`` ⇒ ``undo(t_j) ≺ redo(t_i)``
+T3.5      ``t_i →o t_j`` ⇒ ``undo(t_j) ≺ undo(t_i)``
+T3.6–10   dynamic control-path rules resolved during re-execution (the
+          :class:`~repro.core.healer.Healer` enforces them operationally)
+T4.1      ``t_i →{f,a,o,c} t_j``, ``t_j`` normal ⇒
+          ``undo(t_i) ≺ redo(t_i) ≺ t_j``
+T4.2      ``t_i →c* t_k``, ``t_k →f* t_j``, ``t_k ∉ L ∪ N``, ``t_j`` normal
+          ⇒ ``undo(t_i) ≺ redo(t_i) ≺ t_j``
+========  =====================================================================
+
+The static rules (T3.1–T3.5, T4.1–T4.2) are materialized here as edges of
+a :class:`~repro.workflow.precedence.PartialOrder` over
+:class:`~repro.core.actions.Action` values.  Rules T3.6–T3.10 talk about
+``succ(redo(t_i))`` — facts that only exist once redos execute — and are
+enforced (and audited) dynamically by the healer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.core.actions import Action
+from repro.workflow.dependency import DependencyAnalyzer
+from repro.workflow.precedence import PartialOrder
+
+__all__ = ["recovery_partial_order", "normal_task_constraints"]
+
+
+def recovery_partial_order(
+    analyzer: DependencyAnalyzer,
+    undo_set: Iterable[str],
+    redo_set: Iterable[str],
+) -> PartialOrder[Action]:
+    """Build the Theorem 3 static partial order over recovery actions.
+
+    Parameters
+    ----------
+    analyzer:
+        Dependency analyzer over the (pre-recovery) system log.
+    undo_set:
+        Instances to undo.
+    redo_set:
+        Instances to redo; must be a subset of ``undo_set`` ∪ log (a redo
+        without an undo is rejected by rule T3.3's premise).
+
+    Returns
+    -------
+    PartialOrder[Action]
+        Order containing one ``undo`` action per undo instance and one
+        ``redo`` action per redo instance, with every applicable
+        T3.1–T3.5 edge.  Guaranteed acyclic for consistent inputs;
+        callers may re-check with
+        :meth:`~repro.workflow.precedence.PartialOrder.check_acyclic`.
+    """
+    undos = frozenset(undo_set)
+    redos = frozenset(redo_set)
+    order: PartialOrder[Action] = PartialOrder()
+    for uid in sorted(undos):
+        order.add_element(Action.undo(uid))
+    for uid in sorted(redos):
+        order.add_element(Action.redo(uid))
+
+    # T3.3: undo(t) ≺ redo(t).
+    for uid in sorted(undos & redos):
+        order.add_edge(Action.undo(uid), Action.redo(uid))
+
+    # T3.1: log precedence between redo pairs.
+    redo_sorted = sorted(redos, key=lambda u: analyzer.record(u).seq)
+    for i, earlier in enumerate(redo_sorted):
+        for later in redo_sorted[i + 1:]:
+            order.add_edge(Action.redo(earlier), Action.redo(later))
+
+    # T3.2, T3.4, T3.5 from the log's data dependences.
+    for uid in sorted(undos | redos):
+        # flow / control handled by T3.1 edges (dependences imply ≺);
+        # anti and output add undo-side constraints.
+        for edge in analyzer.anti_edges_from(uid):
+            # t_i →a t_j: t_j modified data t_i read.
+            if uid in redos and edge.dst in undos:
+                order.add_edge(Action.undo(edge.dst), Action.redo(uid))
+        for edge in analyzer.output_edges_from(uid):
+            # t_i →o t_j: both wrote the same object, t_j later.
+            if uid in undos and edge.dst in undos:
+                order.add_edge(Action.undo(edge.dst), Action.undo(uid))
+    return order
+
+
+def normal_task_constraints(
+    analyzer: DependencyAnalyzer,
+    undo_set: Iterable[str],
+    redo_set: Iterable[str],
+    normal_tasks: Mapping[str, Tuple[FrozenSet[str], FrozenSet[str]]],
+    order: Optional[PartialOrder[Action]] = None,
+) -> PartialOrder[Action]:
+    """Add Theorem 4 edges for pending normal tasks.
+
+    Parameters
+    ----------
+    analyzer:
+        Dependency analyzer over the system log.
+    undo_set, redo_set:
+        As in :func:`recovery_partial_order`.
+    normal_tasks:
+        Pending (not yet executed) normal tasks: mapping
+        ``uid → (read set, write set)`` of *data object names*.
+    order:
+        Order to extend; a fresh Theorem 3 order is built when omitted.
+
+    Notes
+    -----
+    A pending normal task has no log record, so its dependences on
+    recovered tasks are judged from object names: it conflicts with a
+    recovered instance when it reads an object that instance wrote
+    (flow), writes an object that instance read (anti), or writes an
+    object that instance wrote (output).  Each conflict yields
+    ``undo(t_i) ≺ redo(t_i) ≺ t_j`` (rule T4.1); when ``t_i`` is undone
+    but not redone, the normal task waits for the undo.
+    """
+    undos = frozenset(undo_set)
+    redos = frozenset(redo_set)
+    if order is None:
+        order = recovery_partial_order(analyzer, undos, redos)
+    for norm_uid, (reads, writes) in sorted(normal_tasks.items()):
+        normal_action = Action.normal(norm_uid)
+        order.add_element(normal_action)
+        for uid in sorted(undos | redos):
+            record = analyzer.record(uid)
+            rec_reads = set(record.reads)
+            rec_writes = set(record.writes)
+            conflict = (
+                bool(rec_writes & set(reads))    # flow into the normal task
+                or bool(rec_reads & set(writes))  # anti
+                or bool(rec_writes & set(writes))  # output
+            )
+            if not conflict:
+                continue
+            if uid in undos:
+                order.add_edge(Action.undo(uid), normal_action)
+            if uid in redos:
+                order.add_edge(Action.redo(uid), normal_action)
+    return order

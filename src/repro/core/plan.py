@@ -1,0 +1,97 @@
+"""Recovery plans.
+
+A :class:`RecoveryPlan` bundles the outcome of damage analysis for one
+batch of IDS alerts: the Theorem 1/2 undo and redo sets (definite +
+candidate), and the Theorem 3 partial order over the definite recovery
+actions.  The plan corresponds to the paper's "unit of recovery tasks"
+(one unit per alert) queued between the recovery analyzer and the
+scheduler in Figure 2.
+
+The plan is *static*: candidates are listed, not resolved.  Resolution —
+which requires executing redos and re-deciding branches — is the
+:class:`~repro.core.healer.Healer`'s job.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.core.actions import Action, ActionKind
+from repro.core.undo_redo import RedoAnalysis, UndoAnalysis
+from repro.workflow.precedence import PartialOrder
+
+__all__ = ["RecoveryPlan"]
+
+
+@dataclass
+class RecoveryPlan:
+    """Schedulable outcome of analyzing one batch of alerts.
+
+    Attributes
+    ----------
+    alert_uids:
+        The malicious instances this plan responds to (one per alert).
+    undo_analysis, redo_analysis:
+        Static Theorem 1 / Theorem 2 results.
+    order:
+        Theorem 3 partial order over the definite undo/redo actions.
+    units:
+        Number of recovery-task units (= number of alerts; the CTMC's
+        queue items).
+    cross_unit_constraints:
+        Ordering constraints against *previously queued* recovery units:
+        ``(earlier unit's action, this plan's action)`` pairs for every
+        conflict (shared instance or overlapping data objects).  The
+        analyzer computes these by checking each new alert against all
+        outstanding units — the work that makes the alert-processing
+        rate ``μ_k`` fall as the recovery queue grows (Section IV-D).
+    """
+
+    alert_uids: Tuple[str, ...]
+    undo_analysis: UndoAnalysis
+    redo_analysis: RedoAnalysis
+    order: PartialOrder[Action]
+    units: int
+    cross_unit_constraints: Tuple[Tuple[Action, Action], ...] = ()
+
+    @property
+    def undo_actions(self) -> FrozenSet[Action]:
+        """Undo actions for the definite undo set."""
+        return frozenset(
+            a for a in self.order.elements() if a.kind == ActionKind.UNDO
+        )
+
+    @property
+    def redo_actions(self) -> FrozenSet[Action]:
+        """Redo actions for the definite redo set."""
+        return frozenset(
+            a for a in self.order.elements() if a.kind == ActionKind.REDO
+        )
+
+    @property
+    def total_actions(self) -> int:
+        """Number of scheduled recovery actions."""
+        return len(self.order)
+
+    def schedule(self, rng: Optional[random.Random] = None) -> List[Action]:
+        """A linear extension of the plan's partial order.
+
+        The scheduler "is supposed to choose the ``minimal(S, ≺)`` to
+        execute"; ties are broken randomly with ``rng`` or
+        deterministically without.
+        """
+        return self.order.topological_order(tiebreak=rng)
+
+    def summary(self) -> str:
+        """One-line human-readable account of the plan."""
+        ua, ra = self.undo_analysis, self.redo_analysis
+        return (
+            f"plan: {len(self.alert_uids)} alerts, "
+            f"{len(ua.definite)} definite undo "
+            f"(+{len(ua.candidates)} candidates), "
+            f"{len(ra.definite)} definite redo "
+            f"(+{len(ra.candidate_uids)} candidates), "
+            f"{len(self.order.edges())} order constraints"
+        )

@@ -1,0 +1,34 @@
+"""Attack injection and intrusion detection substrate.
+
+The paper assumes an independent IDS (citing Lee & Stolfo) that
+"periodically reports intrusions... by putting IDS alerts in a queue", and
+attackers who inject malicious tasks or forge task data.  This package
+provides both sides:
+
+- :mod:`repro.ids.attacks` — tamper hooks that corrupt task outputs or
+  forge whole malicious runs, recording ground truth for evaluation;
+- :mod:`repro.ids.alerts` — alerts and the bounded queues of the recovery
+  architecture (Figure 2);
+- :mod:`repro.ids.detector` — an IDS simulator with detection delay,
+  detection probability and false alarms.
+"""
+
+from repro.ids.alerts import Alert, BoundedQueue
+from repro.ids.attacks import (
+    AttackCampaign,
+    OutputOverride,
+    OutputTransform,
+    TargetSelector,
+)
+from repro.ids.detector import DetectorConfig, IntrusionDetector
+
+__all__ = [
+    "Alert",
+    "BoundedQueue",
+    "AttackCampaign",
+    "OutputOverride",
+    "OutputTransform",
+    "TargetSelector",
+    "IntrusionDetector",
+    "DetectorConfig",
+]

@@ -1,0 +1,118 @@
+"""IDS alerts and the bounded queues of the recovery architecture.
+
+Figure 2 of the paper shows two queues: the queue of IDS alerts feeding
+the recovery analyzer, and the queue of recovery tasks feeding the
+scheduler.  Both are finite in a real system (Section IV-E); when the
+alert queue overflows, alerts are *lost* — the quantity the CTMC's loss
+probability measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.errors import QueueFullError
+
+__all__ = ["Alert", "BoundedQueue"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, order=True)
+class Alert:
+    """One IDS alert: a task instance reported as malicious.
+
+    Attributes
+    ----------
+    detected_at:
+        Simulation / wall-clock time of the report (alerts order by it).
+    uid:
+        Uid of the reported task instance.
+    genuine:
+        ``False`` for false alarms (the uid does not denote a truly malicious
+        instance); the recovery analyzer treats both alike, which lets
+        experiments measure the cost of false positives.
+    """
+
+    detected_at: float
+    uid: str
+    genuine: bool = True
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO queue with finite capacity and loss accounting.
+
+    ``offer`` returns ``False`` (and counts a loss) when the queue is
+    full; ``push`` raises instead.  Used for both the alert queue and the
+    recovery-task queue.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._items: Deque[T] = deque()
+        self._lost = 0
+        self._accepted = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of queued items."""
+        return self._capacity
+
+    @property
+    def lost(self) -> int:
+        """Number of items rejected because the queue was full."""
+        return self._lost
+
+    @property
+    def accepted(self) -> int:
+        """Number of items successfully enqueued over the queue's life."""
+        return self._accepted
+
+    def offer(self, item: T) -> bool:
+        """Enqueue ``item`` if capacity allows; count a loss otherwise."""
+        if len(self._items) >= self._capacity:
+            self._lost += 1
+            return False
+        self._items.append(item)
+        self._accepted += 1
+        return True
+
+    def push(self, item: T) -> None:
+        """Enqueue ``item`` or raise :class:`QueueFullError`."""
+        if not self.offer(item):
+            self._lost -= 1  # push's failure is an error, not a loss
+            raise QueueFullError(
+                f"queue full (capacity {self._capacity})"
+            )
+
+    def pop(self) -> T:
+        """Dequeue the oldest item."""
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """Oldest item without dequeuing."""
+        return self._items[0]
+
+    @property
+    def full(self) -> bool:
+        """True when at capacity."""
+        return len(self._items) >= self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BoundedQueue({len(self._items)}/{self._capacity}, "
+            f"lost={self._lost})"
+        )

@@ -1,0 +1,162 @@
+"""Finite-state Continuous-Time Markov Chains.
+
+A CTMC is characterized by a generator matrix ``Q = (q_ij)`` and an
+initial state probability vector ``π(0)``, where ``q_ij`` (``i ≠ j``) is
+the transition rate from state ``i`` to state ``j`` and
+``q_ii = -Σ_{j≠i} q_ij`` (Section IV-E).  States carry arbitrary hashable
+labels so the recovery STG can use ``(alerts, units)`` pairs directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["CTMC"]
+
+
+class CTMC:
+    """An explicit finite CTMC over labelled states.
+
+    Build with :meth:`from_rates` (sparse rate dictionary) or pass a
+    dense generator directly.  The generator is validated: non-negative
+    off-diagonal rates and (approximately) zero row sums.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[Hashable],
+        generator: np.ndarray,
+        atol: float = 1e-9,
+    ) -> None:
+        states = list(states)
+        if len(set(states)) != len(states):
+            raise ModelError("duplicate state labels")
+        q = np.asarray(generator, dtype=float)
+        if q.shape != (len(states), len(states)):
+            raise ModelError(
+                f"generator shape {q.shape} does not match "
+                f"{len(states)} states"
+            )
+        off_diag = q.copy()
+        np.fill_diagonal(off_diag, 0.0)
+        if (off_diag < -atol).any():
+            raise ModelError("negative off-diagonal rate in generator")
+        row_sums = q.sum(axis=1)
+        if np.abs(row_sums).max() > 1e-6:
+            raise ModelError(
+                f"generator rows must sum to 0 (max |sum| = "
+                f"{np.abs(row_sums).max():g})"
+            )
+        self._states = states
+        self._index: Dict[Hashable, int] = {
+            s: i for i, s in enumerate(states)
+        }
+        self._q = q
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rates(
+        cls,
+        states: Sequence[Hashable],
+        rates: Mapping[Tuple[Hashable, Hashable], float],
+    ) -> "CTMC":
+        """Build from a sparse ``{(src, dst): rate}`` mapping.
+
+        Diagonal entries are derived automatically; zero rates are
+        dropped.
+        """
+        states = list(states)
+        index = {s: i for i, s in enumerate(states)}
+        n = len(states)
+        q = np.zeros((n, n))
+        for (src, dst), rate in rates.items():
+            if src == dst:
+                raise ModelError(f"self-transition on state {src!r}")
+            if rate < 0:
+                raise ModelError(
+                    f"negative rate {rate} for {src!r} → {dst!r}"
+                )
+            try:
+                i, j = index[src], index[dst]
+            except KeyError as exc:
+                raise ModelError(f"unknown state {exc.args[0]!r}") from None
+            q[i, j] += rate
+        np.fill_diagonal(q, 0.0)
+        np.fill_diagonal(q, -q.sum(axis=1))
+        return cls(states, q)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def states(self) -> List[Hashable]:
+        """State labels, in generator order."""
+        return list(self._states)
+
+    @property
+    def generator(self) -> np.ndarray:
+        """A copy of the generator matrix ``Q``."""
+        return self._q.copy()
+
+    def index_of(self, state: Hashable) -> int:
+        """Row/column index of a state label."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise ModelError(f"unknown state {state!r}") from None
+
+    def rate(self, src: Hashable, dst: Hashable) -> float:
+        """Transition rate ``src → dst`` (0 when absent)."""
+        if src == dst:
+            raise ModelError("use exit_rate() for diagonal entries")
+        return float(self._q[self.index_of(src), self.index_of(dst)])
+
+    def exit_rate(self, state: Hashable) -> float:
+        """Total rate of leaving ``state`` (``-q_ii``)."""
+        i = self.index_of(state)
+        return float(-self._q[i, i])
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return len(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    # -- distributions -----------------------------------------------------------
+
+    def point_distribution(self, state: Hashable) -> np.ndarray:
+        """Probability vector concentrated on one state (a valid
+        ``π(0)``)."""
+        pi = np.zeros(len(self._states))
+        pi[self.index_of(state)] = 1.0
+        return pi
+
+    def validate_distribution(self, pi: np.ndarray,
+                              atol: float = 1e-6) -> np.ndarray:
+        """Check ``pi`` is a distribution over this chain's states."""
+        pi = np.asarray(pi, dtype=float)
+        if pi.shape != (len(self._states),):
+            raise ModelError(
+                f"distribution has shape {pi.shape}, expected "
+                f"({len(self._states)},)"
+            )
+        if (pi < -atol).any():
+            raise ModelError("distribution has negative entries")
+        if abs(pi.sum() - 1.0) > atol:
+            raise ModelError(
+                f"distribution sums to {pi.sum():g}, expected 1"
+            )
+        return pi
+
+    def uniformization_rate(self) -> float:
+        """A rate ``Λ ≥ max_i |q_ii|`` for uniformization."""
+        return float(np.max(-np.diag(self._q))) or 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CTMC({len(self._states)} states)"

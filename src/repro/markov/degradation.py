@@ -1,0 +1,120 @@
+"""Rate-degradation families ``f`` and ``g``.
+
+Section IV-D: alert processing and recovery execution slow down as queues
+fill, because the analyzer and scheduler check dependences against every
+queued item: ``μ_k = f(μ_1, k)`` and ``ξ_k = g(ξ_1, k)`` with
+``μ_1 ≥ μ_2 ≥ ...`` and ``ξ_1 ≥ ξ_2 ≥ ...``.  "We use function f and g to
+simulate the degradation of performance when the number of items in
+queues increases."
+
+This module provides the standard families used in the evaluation
+(Figure 4 sweeps them) plus the exact presets for Figure 4's four panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+__all__ = [
+    "RateFunction",
+    "constant",
+    "inverse_k",
+    "power_law",
+    "geometric",
+    "linear_decay",
+    "fig4_cases",
+]
+
+
+@dataclass(frozen=True)
+class RateFunction:
+    """A non-increasing rate schedule ``k ↦ rate_k`` for ``k ≥ 1``.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"mu1/k"``).
+    base:
+        The rate at ``k = 1`` (the paper's ``μ_1`` / ``ξ_1``).
+    fn:
+        Maps ``(base, k)`` to the rate with ``k`` queued items.
+    """
+
+    name: str
+    base: float
+    fn: Callable[[float, int], float]
+
+    def __call__(self, k: int) -> float:
+        """Rate with ``k`` items queued (``k ≥ 1``)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        rate = self.fn(self.base, k)
+        if rate < 0:
+            raise ValueError(
+                f"rate function {self.name!r} produced negative rate "
+                f"{rate} at k={k}"
+            )
+        return rate
+
+    def rebased(self, base: float) -> "RateFunction":
+        """Same functional form with a different base rate."""
+        return RateFunction(self.name, base, self.fn)
+
+
+def constant(base: float) -> RateFunction:
+    """No degradation: ``rate_k = rate_1`` for all ``k``."""
+    return RateFunction("const", base, lambda b, k: b)
+
+
+def inverse_k(base: float) -> RateFunction:
+    """Linear-work degradation: ``rate_k = rate_1 / k``.
+
+    Matches an analyzer/scheduler whose per-item cost grows linearly
+    with queue length (the realistic case the paper emphasizes).
+    """
+    return RateFunction("1/k", base, lambda b, k: b / k)
+
+
+def power_law(base: float, alpha: float) -> RateFunction:
+    """``rate_k = rate_1 / k^alpha``; ``alpha`` ≈ 0 is "very slow"
+    degradation (Figure 4(a)), ``alpha = 1`` is :func:`inverse_k`."""
+    return RateFunction(
+        f"1/k^{alpha:g}", base, lambda b, k: b / (k ** alpha)
+    )
+
+
+def geometric(base: float, ratio: float) -> RateFunction:
+    """``rate_k = rate_1 * ratio^(k-1)`` with ``0 < ratio ≤ 1``."""
+    if not 0 < ratio <= 1:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    return RateFunction(
+        f"geo{ratio:g}", base, lambda b, k: b * ratio ** (k - 1)
+    )
+
+
+def linear_decay(base: float, step: float, floor: float = 1e-3) -> RateFunction:
+    """``rate_k = max(rate_1 - step*(k-1), floor)``."""
+    return RateFunction(
+        f"lin-{step:g}", base,
+        lambda b, k: max(b - step * (k - 1), floor),
+    )
+
+
+def fig4_cases(mu1: float, xi1: float) -> Dict[str, Tuple[RateFunction, RateFunction]]:
+    """The four ``(f, g)`` pairs of Figure 4.
+
+    - ``(a)`` very slow degradation of both rates — loss probability
+      falls monotonically with buffer size;
+    - ``(b)`` both degrade as ``1/k`` — loss is U-shaped in buffer size;
+    - ``(c)`` only ``ξ`` degrades (``μ`` constant) — the adverse case;
+    - ``(d)`` only ``μ`` degrades — better than (c): slowing the scan
+      throttles the producer of recovery units while the drain stays
+      fast.
+    """
+    return {
+        "a": (power_law(mu1, 0.1), power_law(xi1, 0.1)),
+        "b": (inverse_k(mu1), inverse_k(xi1)),
+        "c": (constant(mu1), inverse_k(xi1)),
+        "d": (inverse_k(mu1), constant(xi1)),
+    }

@@ -1,0 +1,122 @@
+"""Performance metrics over STG distributions.
+
+Implements Definition 3 (loss probability), Definition 4
+(ε-convergence), the category probabilities P(NORMAL) / P(SCAN) /
+P(RECOVERY) plotted in Figure 5, and the expected queue lengths of
+Figures 5(b)/(d)/(f).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.markov.steady_state import steady_state
+from repro.markov.stg import RecoverySTG, State, StateCategory
+
+__all__ = [
+    "loss_probability",
+    "category_probabilities",
+    "expected_alerts",
+    "expected_recovery_units",
+    "epsilon_convergence",
+    "state_probability",
+    "expected_lost_alerts",
+]
+
+
+def _check(stg: RecoverySTG, pi: np.ndarray) -> np.ndarray:
+    pi = np.asarray(pi, dtype=float)
+    if pi.shape != (len(stg.states),):
+        raise ModelError(
+            f"distribution has shape {pi.shape}, expected "
+            f"({len(stg.states)},)"
+        )
+    return pi
+
+
+def loss_probability(stg: RecoverySTG, pi: np.ndarray) -> float:
+    """Definition 3: probability mass on the STG's right edge.
+
+    ``lp_π = Σ_{i ∈ E} p_i`` where ``E`` is the set of states with the
+    recovery-task queue full — the states in which the system is at its
+    limit and IDS alerts are (about to be) lost.
+    """
+    pi = _check(stg, pi)
+    chain = stg.ctmc()
+    return float(sum(pi[chain.index_of(s)] for s in stg.loss_states()))
+
+
+def state_probability(stg: RecoverySTG, pi: np.ndarray, state: State) -> float:
+    """Probability of one state under ``pi``."""
+    pi = _check(stg, pi)
+    return float(pi[stg.ctmc().index_of(state)])
+
+
+def category_probabilities(
+    stg: RecoverySTG, pi: np.ndarray
+) -> Dict[StateCategory, float]:
+    """Mass on NORMAL / SCAN / RECOVERY (the Figure 5 series)."""
+    pi = _check(stg, pi)
+    chain = stg.ctmc()
+    out: Dict[StateCategory, float] = {c: 0.0 for c in StateCategory}
+    for s in stg.states:
+        out[s.category] += float(pi[chain.index_of(s)])
+    return out
+
+
+def expected_alerts(stg: RecoverySTG, pi: np.ndarray) -> float:
+    """Expected number of IDS alerts in the queue under ``pi``."""
+    pi = _check(stg, pi)
+    chain = stg.ctmc()
+    return float(
+        sum(s.alerts * pi[chain.index_of(s)] for s in stg.states)
+    )
+
+
+def expected_recovery_units(stg: RecoverySTG, pi: np.ndarray) -> float:
+    """Expected number of recovery-task units in the queue under ``pi``."""
+    pi = _check(stg, pi)
+    chain = stg.ctmc()
+    return float(
+        sum(s.units * pi[chain.index_of(s)] for s in stg.states)
+    )
+
+
+def expected_lost_alerts(
+    stg: RecoverySTG,
+    t: float,
+    pi0: Optional[np.ndarray] = None,
+) -> float:
+    """Expected number of IDS alerts lost over ``[0, t]``.
+
+    Alerts arrive as a Poisson stream of rate λ and are lost exactly
+    while the system occupies a loss state, so the expected loss count
+    is ``λ · Σ_{s ∈ E} l_s(t)`` with ``l`` the cumulative state times of
+    Equation 3.  This quantifies the transient question the paper asks
+    of Figure 6: "how many IDS alerts have been lost before the system
+    enters its steady state".
+    """
+    from repro.markov.transient import cumulative_times
+
+    chain = stg.ctmc()
+    if pi0 is None:
+        pi0 = stg.initial_distribution()
+    lt = cumulative_times(chain, pi0, t)
+    on_edge = sum(lt[chain.index_of(s)] for s in stg.loss_states())
+    return float(stg.arrival_rate * on_edge)
+
+
+def epsilon_convergence(stg: RecoverySTG,
+                        pi: Optional[np.ndarray] = None) -> float:
+    """Definition 4: the ``ε`` such that the system is ε-convergent.
+
+    The loss probability at the steady state; computed from ``pi`` when
+    given, otherwise from the STG's own steady state.  A 1-convergent
+    system is useless; designers aim for ε as small as possible.
+    """
+    if pi is None:
+        pi = steady_state(stg.ctmc())
+    return loss_probability(stg, pi)

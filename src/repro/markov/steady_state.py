@@ -1,0 +1,74 @@
+"""Steady-state analysis — Equation 1.
+
+The steady-state probability vector ``π`` of a finite CTMC with generator
+``Q`` satisfies ``πQ = 0`` with ``Σ π_i = 1``.  We solve the equivalent
+linear system obtained by replacing one balance equation with the
+normalization constraint; for an irreducible chain the solution is
+unique and strictly positive on every recurrent state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ModelError, NotConvergedError
+from repro.markov.ctmc import CTMC
+
+__all__ = ["steady_state"]
+
+
+def steady_state(chain: Union[CTMC, np.ndarray],
+                 atol: float = 1e-8) -> np.ndarray:
+    """Solve ``πQ = 0, Σπ = 1`` for a finite CTMC.
+
+    Parameters
+    ----------
+    chain:
+        A :class:`~repro.markov.ctmc.CTMC` or a raw generator matrix.
+    atol:
+        Residual tolerance for the returned solution; exceeded residuals
+        raise :class:`~repro.errors.NotConvergedError`.
+
+    Returns
+    -------
+    numpy.ndarray
+        The stationary distribution, in the chain's state order.
+    """
+    q = chain.generator if isinstance(chain, CTMC) else np.asarray(
+        chain, dtype=float
+    )
+    n = q.shape[0]
+    if q.shape != (n, n):
+        raise ModelError(f"generator must be square, got {q.shape}")
+
+    # πQ = 0  ⇔  Qᵀ πᵀ = 0; replace the last equation with Σπ = 1.
+    a = q.T.copy()
+    a[-1, :] = 1.0
+    b = np.zeros(n)
+    b[-1] = 1.0
+    try:
+        pi, residuals, rank, _ = np.linalg.lstsq(a, b, rcond=None)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        raise NotConvergedError(f"steady-state solve failed: {exc}") from exc
+
+    # Clip numerical noise and renormalize.
+    pi = np.where(np.abs(pi) < 1e-14, 0.0, pi)
+    if (pi < -1e-8).any():
+        raise NotConvergedError(
+            "steady-state solution has negative probabilities "
+            "(reducible chain with multiple closed classes?)"
+        )
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0:
+        raise NotConvergedError("steady-state solution sums to zero")
+    pi = pi / total
+
+    residual = np.abs(pi @ q).max()
+    if residual > max(atol, 1e-6):
+        raise NotConvergedError(
+            f"steady-state residual |πQ| = {residual:g} exceeds tolerance"
+        )
+    return pi

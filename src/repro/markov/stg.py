@@ -1,0 +1,243 @@
+"""The recovery system's state transition graph (Figure 3).
+
+A state is a pair ``(a, r)``: ``a`` IDS alerts queued, ``r`` units of
+recovery tasks queued (one unit per processed alert).  The categories of
+Section IV-C:
+
+- ``(0, 0)`` — NORMAL: nothing to analyze, nothing to repair;
+- ``(a, r)`` with ``a > 0`` — SCAN: the analyzer processes alerts;
+  recovery tasks are **not** executed (a redo might read objects a
+  fresh alert is about to mark damaged);
+- ``(0, r)`` with ``r > 0`` — RECOVERY: the alert queue is empty; the
+  scheduler executes recovery units.
+
+Transitions:
+
+- *arrival* — ``(a, r) → (a+1, r)`` at rate ``λ`` while ``a < A``; when
+  the alert buffer is full, new alerts are **lost**;
+- *scan* — ``(a, r) → (a-1, r+1)`` at rate ``μ_a`` while ``a > 0`` and
+  ``r < R``: the analyzer's work grows with the items in its queue
+  (``S:n`` advances at ``μ_n``); when the recovery buffer is full
+  (``r = R``) the analyzer is *blocked* (Section IV-E) and alerts pile
+  up;
+- *recovery* — ``(a, r) → (a, r-1)`` at rate ``ξ_r`` when ``a = 0``
+  (RECOVERY state) **or** ``r = R``: a full recovery queue blocks the
+  analyzer, so the scheduler drains units even though alerts are
+  pending.  Scan and recovery still never run in parallel — exactly one
+  of them is enabled in every state — which is the paper's reason the
+  system "cannot be modeled by a queuing network".  Without this drain
+  rule the state (alert buffer full, recovery buffer full) would be
+  absorbing: the analyzer blocked by the full recovery queue and the
+  scheduler blocked by pending alerts, a deadlock the paper's system
+  clearly does not have (its steady states keep recovering).
+
+Following Section IV-E, an ``n``-sized recovery buffer is modeled as an
+``n × n`` STG: both buffers default to the same size.  The *right edge* —
+the loss states of Definition 3 — are the states with the **alert queue
+full** (``a = A``): these are the states in which newly arriving IDS
+alerts are lost.  A full recovery queue is what drives the system there
+("as long as the queue of recovery tasks is full, the system will be at
+states at the right edge of STG"): with ``r = R`` the analyzer blocks,
+alerts accumulate, and the system parks at ``a = A`` until recovery
+frees queue space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.markov.ctmc import CTMC
+from repro.markov.degradation import RateFunction, inverse_k
+
+__all__ = ["State", "StateCategory", "RecoverySTG"]
+
+
+class StateCategory(str, Enum):
+    """The paper's three state families."""
+
+    NORMAL = "normal"
+    SCAN = "scan"
+    RECOVERY = "recovery"
+
+
+@dataclass(frozen=True, order=True)
+class State:
+    """One STG state: ``alerts`` queued, ``units`` of recovery tasks
+    queued."""
+
+    alerts: int
+    units: int
+
+    @property
+    def category(self) -> StateCategory:
+        """NORMAL / SCAN / RECOVERY per Section IV-C."""
+        if self.alerts > 0:
+            return StateCategory.SCAN
+        if self.units > 0:
+            return StateCategory.RECOVERY
+        return StateCategory.NORMAL
+
+    def __str__(self) -> str:
+        if self.category is StateCategory.NORMAL:
+            return "N"
+        if self.category is StateCategory.SCAN:
+            return f"S:{self.alerts}/{self.units}"
+        return f"R:{self.units}"
+
+
+class RecoverySTG:
+    """Finite-buffer STG of the attack recovery system.
+
+    Parameters
+    ----------
+    arrival_rate:
+        ``λ`` — Poisson rate of IDS alerts.
+    scan:
+        ``μ`` schedule: ``scan(k)`` is the alert-processing rate with
+        ``k`` alerts queued (``μ_a`` is used in state ``(a, r)``).
+    recovery:
+        ``ξ`` schedule: ``recovery(r)`` is the unit-execution rate with
+        ``r`` units queued.
+    recovery_buffer:
+        ``R`` — capacity of the recovery-task queue (the paper's
+        performance-critical buffer).
+    alert_buffer:
+        ``A`` — capacity of the alert queue; defaults to ``R`` (the
+        paper's square ``n × n`` STG).
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        scan: RateFunction,
+        recovery: RateFunction,
+        recovery_buffer: int,
+        alert_buffer: Optional[int] = None,
+    ) -> None:
+        if arrival_rate < 0:
+            raise ModelError(f"arrival rate must be >= 0, got {arrival_rate}")
+        if recovery_buffer < 1:
+            raise ModelError(
+                f"recovery buffer must be >= 1, got {recovery_buffer}"
+            )
+        self._lambda = float(arrival_rate)
+        self._scan = scan
+        self._recovery = recovery
+        self._R = int(recovery_buffer)
+        self._A = int(alert_buffer) if alert_buffer is not None else self._R
+        if self._A < 1:
+            raise ModelError(f"alert buffer must be >= 1, got {self._A}")
+        self._states: List[State] = [
+            State(a, r)
+            for a in range(self._A + 1)
+            for r in range(self._R + 1)
+        ]
+        self._ctmc: Optional[CTMC] = None
+
+    # -- parameters ---------------------------------------------------------
+
+    @property
+    def arrival_rate(self) -> float:
+        """``λ``."""
+        return self._lambda
+
+    @property
+    def recovery_buffer(self) -> int:
+        """``R``."""
+        return self._R
+
+    @property
+    def alert_buffer(self) -> int:
+        """``A``."""
+        return self._A
+
+    @property
+    def scan_schedule(self) -> RateFunction:
+        """The ``μ_k`` schedule."""
+        return self._scan
+
+    @property
+    def recovery_schedule(self) -> RateFunction:
+        """The ``ξ_k`` schedule."""
+        return self._recovery
+
+    @property
+    def states(self) -> List[State]:
+        """All states, alert-major order."""
+        return list(self._states)
+
+    # -- structure ------------------------------------------------------------
+
+    def transition_rates(self) -> Dict[Tuple[State, State], float]:
+        """Sparse transition-rate map of the STG."""
+        rates: Dict[Tuple[State, State], float] = {}
+        for s in self._states:
+            a, r = s.alerts, s.units
+            if a < self._A and self._lambda > 0:
+                rates[(s, State(a + 1, r))] = self._lambda
+            if a > 0 and r < self._R:
+                mu = self._scan(a)
+                if mu > 0:
+                    rates[(s, State(a - 1, r + 1))] = mu
+            if r > 0 and (a == 0 or r == self._R):
+                xi = self._recovery(r)
+                if xi > 0:
+                    rates[(s, State(a, r - 1))] = xi
+        return rates
+
+    def ctmc(self) -> CTMC:
+        """The STG as a :class:`~repro.markov.ctmc.CTMC` (cached)."""
+        if self._ctmc is None:
+            self._ctmc = CTMC.from_rates(self._states, self.transition_rates())
+        return self._ctmc
+
+    # -- state sets -------------------------------------------------------------
+
+    @property
+    def normal_state(self) -> State:
+        """The NORMAL state ``(0, 0)``."""
+        return State(0, 0)
+
+    def loss_states(self) -> List[State]:
+        """Definition 3's right edge: alert queue full (``a = A``) —
+        the states in which arriving IDS alerts are lost."""
+        return [s for s in self._states if s.alerts == self._A]
+
+    def states_of(self, category: StateCategory) -> List[State]:
+        """All states in a category."""
+        return [s for s in self._states if s.category is category]
+
+    def initial_distribution(self, state: Optional[State] = None) -> np.ndarray:
+        """``π(0)`` concentrated on ``state`` (default: NORMAL)."""
+        return self.ctmc().point_distribution(
+            state if state is not None else self.normal_state
+        )
+
+    @classmethod
+    def paper_default(
+        cls,
+        arrival_rate: float = 1.0,
+        mu1: float = 15.0,
+        xi1: float = 20.0,
+        buffer_size: int = 15,
+    ) -> "RecoverySTG":
+        """The configuration Sections V-A.2/V-B keep fixed:
+        ``μ_k = μ_1/k``, ``ξ_k = ξ_1/k``, buffer size 15."""
+        return cls(
+            arrival_rate=arrival_rate,
+            scan=inverse_k(mu1),
+            recovery=inverse_k(xi1),
+            recovery_buffer=buffer_size,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RecoverySTG(λ={self._lambda:g}, μ={self._scan.name}"
+            f"@{self._scan.base:g}, ξ={self._recovery.name}"
+            f"@{self._recovery.base:g}, A={self._A}, R={self._R})"
+        )

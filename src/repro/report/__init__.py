@@ -1,0 +1,6 @@
+"""Result formatting shared by the benchmark harness and examples."""
+
+from repro.report.tables import Table, format_table
+from repro.report.series import Series, format_series
+
+__all__ = ["Table", "format_table", "Series", "format_series"]

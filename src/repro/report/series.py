@@ -1,0 +1,56 @@
+"""Named (x, y) series — the data behind a figure panel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["Series", "format_series"]
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and its sampled points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append a point."""
+        self.points.append((float(x), float(y)))
+
+    @property
+    def xs(self) -> List[float]:
+        """The x coordinates."""
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        """The y coordinates."""
+        return [p[1] for p in self.points]
+
+    def y_at(self, x: float, atol: float = 1e-9) -> float:
+        """The y value recorded at ``x`` (exact match)."""
+        for px, py in self.points:
+            if abs(px - x) <= atol:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+def format_series(title: str, series: Sequence[Series],
+                  x_label: str = "x") -> str:
+    """Render several series sharing an x axis as one text table."""
+    from repro.report.tables import format_table
+
+    xs = sorted({x for s in series for x in s.xs})
+    columns = [x_label] + [s.label for s in series]
+    rows = []
+    for x in xs:
+        row = [x]
+        for s in series:
+            try:
+                row.append(s.y_at(x))
+            except KeyError:
+                row.append(float("nan"))
+        rows.append(row)
+    return format_table(title, columns, rows)

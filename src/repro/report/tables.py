@@ -1,0 +1,67 @@
+"""Plain-text tables for benchmark output.
+
+Every figure-reproduction bench prints the series it computes as an
+aligned text table (the numbers behind the paper's plots), so results
+are inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Table", "format_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e5:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """The table as aligned text."""
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render a title, header and rows as aligned text."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "=" * max(len(title), 1)]
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

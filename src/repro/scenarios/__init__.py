@@ -1,0 +1,35 @@
+"""Concrete scenarios from the paper.
+
+- :mod:`repro.scenarios.figure1` — the motivating example of Figure 1:
+  two interleaved workflows, a malicious ``t1``, damage spreading across
+  both workflows, and an execution-path change during recovery;
+- :mod:`repro.scenarios.banking` — the introduction's forged bank
+  transaction: a whole workflow run injected by the attacker;
+- :mod:`repro.scenarios.travel` — the introduction's travel booking with
+  forged credit-card data steering an approval branch;
+- :mod:`repro.scenarios.supply_chain` — a compound case study: data
+  corruption plus a forged run across procurement, sales and
+  bookkeeping workflows.
+
+Each module exposes a ``build_*()`` returning a ready-to-run scenario
+with a ``heal_now()`` performing recovery and the Definition 2 audit.
+"""
+
+from repro.scenarios.banking import BankingScenario, build_banking
+from repro.scenarios.figure1 import Figure1Scenario, build_figure1
+from repro.scenarios.supply_chain import (
+    SupplyChainScenario,
+    build_supply_chain,
+)
+from repro.scenarios.travel import TravelScenario, build_travel
+
+__all__ = [
+    "Figure1Scenario",
+    "build_figure1",
+    "BankingScenario",
+    "build_banking",
+    "TravelScenario",
+    "build_travel",
+    "SupplyChainScenario",
+    "build_supply_chain",
+]

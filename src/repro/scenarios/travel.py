@@ -1,0 +1,142 @@
+"""The introduction's second example: a travel booking with forged
+credit-card data.
+
+"The attacker may schedule a travel with forged credit card information
+that carries incorrect data in workflow tasks."
+
+Here the booking workflow itself is legitimate — the attacker tampers
+with one task's *data* (the card-submission step), steering the
+verification branch to approve a booking that should have been denied.
+The corrupted booking consumes a seat and books revenue; later bookings
+read the corrupted seat count, so the damage spreads.
+
+Recovery redoes the submission with the genuine data, re-decides the
+verification branch (deny), abandons the reserve/charge/confirm tasks
+(undone, not redone — Theorem 2's negative case), and repairs every
+later booking that read the corrupted seat count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.axioms import CorrectnessReport, audit_strict_correctness
+from repro.core.healer import HealReport, Healer
+from repro.ids.attacks import AttackCampaign
+from repro.workflow.data import DataStore
+from repro.workflow.engine import Engine
+from repro.workflow.log import SystemLog
+from repro.workflow.spec import WorkflowSpec, workflow
+
+__all__ = ["TravelScenario", "build_travel", "booking_spec"]
+
+#: Card numbers divisible by 7 are "valid" in this toy verifier.
+PRICE = 120
+
+
+def booking_spec(name: str) -> WorkflowSpec:
+    """A booking workflow: submit → verify → (reserve → charge → confirm)
+    or deny."""
+    card = f"card_{name}"
+    cardinfo = f"cardinfo_{name}"
+    valid = f"valid_{name}"
+    booked = f"booked_{name}"
+    denied = f"denied_{name}"
+    return (
+        workflow(f"booking_{name}")
+        .task("submit", reads=[card], writes=[cardinfo],
+              compute=lambda d: {cardinfo: d[card]},
+              description="carries the card data (attack point)")
+        .task("verify", reads=[cardinfo], writes=[valid],
+              compute=lambda d: {valid: 1 if d[cardinfo] % 7 == 0 else 0},
+              choose=lambda d, _v=valid: "reserve" if d[_v] else "deny")
+        .task("reserve", reads=["seats"], writes=["seats"],
+              compute=lambda d: {"seats": d["seats"] - 1})
+        .task("charge", reads=["revenue"], writes=["revenue"],
+              compute=lambda d: {"revenue": d["revenue"] + PRICE})
+        .task("confirm", reads=["seats"], writes=[booked],
+              compute=lambda d: {booked: 1})
+        .task("deny", reads=[], writes=[denied],
+              compute=lambda d: {denied: 1})
+        .edge("submit", "verify")
+        .edge("verify", "reserve").edge("reserve", "charge")
+        .edge("charge", "confirm")
+        .edge("verify", "deny")
+        .build()
+    )
+
+
+@dataclass
+class TravelScenario:
+    """The attacked booking system, ready to heal."""
+
+    store: DataStore
+    log: SystemLog
+    specs_by_instance: Dict[str, WorkflowSpec]
+    initial_data: Dict[str, int]
+    malicious_uid: str
+    heal: Optional[HealReport] = None
+    audit: Optional[CorrectnessReport] = None
+
+    def heal_now(self) -> HealReport:
+        """Repair the forged booking and its downstream damage."""
+        healer = Healer(self.store, self.log, self.specs_by_instance)
+        self.heal = healer.heal([self.malicious_uid])
+        self.audit = audit_strict_correctness(
+            self.specs_by_instance,
+            self.initial_data,
+            self.heal.final_history,
+            self.store.snapshot(),
+        )
+        return self.heal
+
+
+def build_travel(n_honest_bookings: int = 3) -> TravelScenario:
+    """Execute the attacked booking day.
+
+    The fraudster's card ``1234`` is invalid (not divisible by 7); the
+    attack tampers with the *submit* task so verification sees a valid
+    number and approves the booking.  ``n_honest_bookings`` legitimate
+    bookings with valid cards follow and read the corrupted seat count.
+    """
+    initial: Dict[str, int] = {
+        "seats": 10,
+        "revenue": 0,
+        "card_fraud": 1234,           # invalid: 1234 % 7 != 0
+        "cardinfo_fraud": 0, "valid_fraud": 0,
+        "booked_fraud": 0, "denied_fraud": 0,
+    }
+    names = [f"b{i}" for i in range(n_honest_bookings)]
+    for i, name in enumerate(names):
+        initial[f"card_{name}"] = 7 * (100 + i)  # valid cards
+        initial[f"cardinfo_{name}"] = 0
+        initial[f"valid_{name}"] = 0
+        initial[f"booked_{name}"] = 0
+        initial[f"denied_{name}"] = 0
+
+    store = DataStore(initial)
+    log = SystemLog()
+    engine = Engine(store, log)
+
+    campaign = AttackCampaign()
+    campaign.corrupt_task(
+        "submit",
+        workflow_instance="booking_fraud",
+        label="forged card data",
+        **{"cardinfo_fraud": 7 * 999},  # looks valid to the verifier
+    )
+
+    fraud = engine.new_run(booking_spec("fraud"), "booking_fraud")
+    engine.run_to_completion(fraud, tamper=campaign)
+    for name in names:
+        run = engine.new_run(booking_spec(name), f"booking_{name}")
+        engine.run_to_completion(run, tamper=campaign)
+
+    return TravelScenario(
+        store=store,
+        log=log,
+        specs_by_instance=engine.specs_by_instance,
+        initial_data=initial,
+        malicious_uid="booking_fraud/submit#1",
+    )

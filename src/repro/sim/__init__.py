@@ -1,0 +1,57 @@
+"""Discrete-event simulation of the recovery system.
+
+The paper evaluates its architecture purely analytically (CTMC).  This
+package adds an operational layer:
+
+- :mod:`repro.sim.events` / :mod:`repro.sim.simulator` — a generic
+  discrete-event simulation core;
+- :mod:`repro.sim.ctmc_sim` — an exact stochastic (Gillespie) simulation
+  of the recovery pipeline's state process, used to cross-validate the
+  CTMC's steady-state and loss-probability results;
+- :mod:`repro.sim.workload` — random workflow/attack workload generation
+  for workflow-level experiments;
+- :mod:`repro.sim.recovery_sim` — end-to-end pipeline runs (engine →
+  attack → IDS → analyzer → healer → audit);
+- :mod:`repro.sim.baselines` — checkpoint/rollback and redo-everything
+  baselines the paper argues against.
+"""
+
+from repro.sim.architecture_sim import ArchitectureSimulator
+from repro.sim.baselines import (
+    RecoveryCost,
+    checkpoint_rollback_cost,
+    dependency_recovery_cost,
+    full_redo_cost,
+)
+from repro.sim.bursty import BurstModel, BurstySimulator
+from repro.sim.ctmc_sim import GillespieResult, GillespieSimulator
+from repro.sim.events import Event
+from repro.sim.fullstack import (
+    FullStackConfig,
+    FullStackResult,
+    FullStackSimulator,
+)
+from repro.sim.recovery_sim import PipelineResult, run_pipeline
+from repro.sim.simulator import Simulator
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "GillespieSimulator",
+    "GillespieResult",
+    "ArchitectureSimulator",
+    "BurstModel",
+    "BurstySimulator",
+    "FullStackSimulator",
+    "FullStackConfig",
+    "FullStackResult",
+    "WorkloadGenerator",
+    "WorkloadConfig",
+    "run_pipeline",
+    "PipelineResult",
+    "RecoveryCost",
+    "checkpoint_rollback_cost",
+    "full_redo_cost",
+    "dependency_recovery_cost",
+]

@@ -1,0 +1,117 @@
+"""Recovery baselines the paper argues against.
+
+Section I dismisses two classic alternatives:
+
+- **checkpoint rollback** — "rolls back the whole workflow system to a
+  specific time.  All work, including both malicious tasks and normal
+  tasks, after the specific time will be lost";
+- **redo everything** — the degenerate safe strategy: distrust the whole
+  log and re-execute it.
+
+This module computes the *cost* of each strategy on the same attacked
+log that the dependency-based healer repairs, in directly comparable
+units (task executions preserved / re-executed / undone), for the
+baseline-comparison benchmark (Extension B in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.healer import HealReport
+from repro.workflow.log import SystemLog
+
+__all__ = [
+    "RecoveryCost",
+    "checkpoint_rollback_cost",
+    "full_redo_cost",
+    "dependency_recovery_cost",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryCost:
+    """Comparable cost of one recovery strategy on one attacked log.
+
+    Attributes
+    ----------
+    strategy:
+        Human-readable strategy name.
+    preserved:
+        Committed task executions whose results survive untouched.
+    re_executed:
+        Task executions performed during recovery (redos + new paths).
+    undone:
+        Committed task executions whose effects are removed.
+    """
+
+    strategy: str
+    preserved: int
+    re_executed: int
+    undone: int
+
+    @property
+    def total_recovery_work(self) -> int:
+        """Undo plus re-execution operations."""
+        return self.re_executed + self.undone
+
+    def wasted_good_work(self, damaged: int) -> int:
+        """Executions discarded although their results were correct.
+
+        ``damaged`` is the true number of incorrect executions (from the
+        healer's undo analysis); anything undone beyond that was good
+        work thrown away.  Near zero for the dependency-based healer by
+        construction; for checkpoints it is everything after the
+        rollback point that was not actually damaged.
+        """
+        return max(0, self.undone - damaged)
+
+
+def checkpoint_rollback_cost(
+    log: SystemLog,
+    malicious: Iterable[str],
+    checkpoint_seq: Optional[int] = None,
+) -> RecoveryCost:
+    """Cost of rolling the whole system back to a checkpoint.
+
+    The checkpoint defaults to the instant just before the first
+    malicious commit (the *best possible* checkpoint; real systems
+    checkpoint periodically and lose even more).  Every record at or
+    after the checkpoint is lost and must be re-executed, malicious or
+    not.
+    """
+    records = log.normal_records()
+    bad = set(malicious)
+    if checkpoint_seq is None:
+        bad_seqs = [r.seq for r in records if r.uid in bad]
+        checkpoint_seq = min(bad_seqs) if bad_seqs else len(records)
+    preserved = sum(1 for r in records if r.seq < checkpoint_seq)
+    lost = len(records) - preserved
+    return RecoveryCost(
+        strategy="checkpoint-rollback",
+        preserved=preserved,
+        re_executed=lost,
+        undone=lost,
+    )
+
+
+def full_redo_cost(log: SystemLog) -> RecoveryCost:
+    """Cost of distrusting the entire log: undo and redo everything."""
+    n = len(log.normal_records())
+    return RecoveryCost(
+        strategy="redo-everything",
+        preserved=0,
+        re_executed=n,
+        undone=n,
+    )
+
+
+def dependency_recovery_cost(report: HealReport) -> RecoveryCost:
+    """Cost actually paid by the dependency-based healer."""
+    return RecoveryCost(
+        strategy="dependency-based",
+        preserved=len(report.kept),
+        re_executed=len(report.redone) + len(report.new_executions),
+        undone=len(report.undone),
+    )

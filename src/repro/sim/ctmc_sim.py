@@ -1,0 +1,190 @@
+"""Exact stochastic simulation of the recovery pipeline state process.
+
+The recovery system's CTMC (Section IV) is simulated directly with the
+Gillespie algorithm: in each state, sample an exponential holding time
+from the total outgoing rate, then jump to a successor with probability
+proportional to its rate.  Because the simulated process *is* the CTMC,
+long-run state occupancies must converge to the analytic steady state —
+this is the cross-validation used by ``benchmarks/bench_sim_vs_ctmc.py``.
+
+Beyond occupancy, the simulator counts what the analytic model can only
+imply: the actual number of alerts lost to a full alert buffer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.markov.stg import RecoverySTG, State, StateCategory
+
+__all__ = ["GillespieResult", "GillespieSimulator"]
+
+
+@dataclass
+class GillespieResult:
+    """Statistics from one simulated trajectory.
+
+    Attributes
+    ----------
+    horizon:
+        Simulated duration.
+    occupancy:
+        Fraction of time in each visited state (sums to 1).
+    category_occupancy:
+        Fraction of time in NORMAL / SCAN / RECOVERY.
+    loss_time_fraction:
+        Fraction of time spent in the STG's loss states (alert buffer
+        full) — the empirical counterpart of Definition 3's loss
+        probability.
+    arrivals, arrivals_lost:
+        Alert arrivals generated / rejected by a full alert buffer.
+    jumps:
+        Number of state transitions taken.
+    """
+
+    horizon: float
+    occupancy: Dict[State, float] = field(default_factory=dict)
+    category_occupancy: Dict[StateCategory, float] = field(default_factory=dict)
+    loss_time_fraction: float = 0.0
+    arrivals: int = 0
+    arrivals_lost: int = 0
+    jumps: int = 0
+
+    @property
+    def empirical_loss_probability(self) -> float:
+        """Alias for :attr:`loss_time_fraction`."""
+        return self.loss_time_fraction
+
+    @property
+    def alert_loss_fraction(self) -> float:
+        """Fraction of generated alerts that were lost."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.arrivals_lost / self.arrivals
+
+
+class GillespieSimulator:
+    """Simulates the trajectory of a :class:`RecoverySTG`.
+
+    Parameters
+    ----------
+    stg:
+        The recovery-system STG (its rates drive the simulation).
+    rng:
+        Source of randomness; defaults to a fixed-seed generator.
+    """
+
+    def __init__(
+        self,
+        stg: RecoverySTG,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self._stg = stg
+        self._rng = rng if rng is not None else random.Random(0)
+        # Per-source sorted outgoing transitions, consistent by
+        # construction with the analytic generator.
+        self._out: Dict[State, Tuple[Tuple[State, float], ...]] = {
+            s: () for s in stg.states
+        }
+        grouped: Dict[State, Dict[State, float]] = {}
+        for (src, dst), rate in stg.transition_rates().items():
+            grouped.setdefault(src, {})[dst] = rate
+        for src, dsts in grouped.items():
+            self._out[src] = tuple(sorted(dsts.items()))
+
+    def run(
+        self,
+        horizon: float,
+        start: Optional[State] = None,
+        max_jumps: int = 50_000_000,
+    ) -> GillespieResult:
+        """Simulate one trajectory of length ``horizon``.
+
+        Arrivals while the alert buffer is full do not correspond to any
+        chain transition; they are sampled as part of the same Poisson
+        stream and counted as lost, so the loss *count* is observable,
+        not just the loss-time fraction.
+        """
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be > 0, got {horizon}")
+        stg = self._stg
+        rng = self._rng
+        state = start if start is not None else stg.normal_state
+        lam = stg.arrival_rate
+
+        time_in: Dict[State, float] = {}
+        now = 0.0
+        jumps = 0
+        arrivals = 0
+        arrivals_lost = 0
+        loss_states = set(stg.loss_states())
+        loss_time = 0.0
+
+        while now < horizon:
+            if jumps >= max_jumps:
+                raise SimulationError(
+                    f"exceeded {max_jumps} jumps before horizon {horizon}"
+                )
+            out = self._out[state]
+            total = sum(rate for _, rate in out)
+            dwell = rng.expovariate(total) if total > 0 else horizon - now
+            end = min(now + dwell, horizon)
+            elapsed = end - now
+            time_in[state] = time_in.get(state, 0.0) + elapsed
+            if state in loss_states:
+                loss_time += elapsed
+            if lam > 0 and state.alerts >= stg.alert_buffer:
+                lost_here = self._poisson_count(lam * elapsed)
+                arrivals += lost_here
+                arrivals_lost += lost_here
+            now = end
+            if now >= horizon or total <= 0:
+                break
+            nxt = self._choose(out, total)
+            if nxt.alerts == state.alerts + 1:
+                arrivals += 1  # an accepted alert arrival
+            state = nxt
+            jumps += 1
+
+        result = GillespieResult(
+            horizon=horizon,
+            occupancy={s: t / horizon for s, t in time_in.items()},
+            loss_time_fraction=loss_time / horizon,
+            arrivals=arrivals,
+            arrivals_lost=arrivals_lost,
+            jumps=jumps,
+        )
+        cat: Dict[StateCategory, float] = {c: 0.0 for c in StateCategory}
+        for s, frac in result.occupancy.items():
+            cat[s.category] += frac
+        result.category_occupancy = cat
+        return result
+
+    # -- internals --------------------------------------------------------
+
+    def _choose(
+        self,
+        out: Tuple[Tuple[State, float], ...],
+        total: float,
+    ) -> State:
+        x = self._rng.random() * total
+        acc = 0.0
+        for dst, rate in out:
+            acc += rate
+            if x <= acc:
+                return dst
+        return out[-1][0]  # numerical edge: fall back to the last option
+
+    def _poisson_count(self, mean: float) -> int:
+        """Sample a Poisson count via exponential inter-arrival sums."""
+        if mean <= 0:
+            return 0
+        count = 0
+        acc = self._rng.expovariate(1.0)
+        while acc < mean:
+            count += 1
+            acc += self._rng.expovariate(1.0)
+        return count

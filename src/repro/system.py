@@ -1,0 +1,206 @@
+"""The Figure 2 architecture: queues, analyzer, scheduler, states.
+
+This module glues the pieces into the operational structure the paper
+draws: an IDS posts alerts into a bounded **alert queue**; the recovery
+analyzer drains it, emitting units of recovery tasks into a bounded
+**recovery-task queue**; the scheduler executes recovery (and normal)
+tasks.  The system is always in one of three states (Section IV-C):
+
+- **NORMAL** — both queues empty; normal tasks execute freely;
+- **SCAN** — alerts queued; the analyzer works, recovery tasks are *not*
+  executed (a redo might read data a fresh alert is about to condemn);
+- **RECOVERY** — alert queue empty, recovery units queued; the scheduler
+  executes them.
+
+Semantics faithfully modeled:
+
+- when the recovery queue is full, the analyzer *blocks* (scan steps
+  refuse to run) and the alert queue fills; once it is also full,
+  further alerts are **lost** (Section IV-E) — the loss the CTMC's
+  Definition 3 measures;
+- under the strict-correctness strategy, normal-task submission is
+  refused while damage analysis is incomplete (Theorem 4's consequence:
+  "we cannot run any normal task until all malicious tasks reported by
+  the IDS have been processed").
+
+The underlying repair uses the :class:`~repro.core.healer.Healer`, which
+assumes one heal per log epoch; the system therefore executes all queued
+recovery units in one batch when RECOVERY begins (the paper likewise
+requires the alert queue to drain before recovery runs).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.analyzer import RecoveryAnalyzer
+from repro.core.healer import HealReport, Healer
+from repro.core.plan import RecoveryPlan
+from repro.core.strategies import RecoveryStrategy
+from repro.errors import RecoveryError, SchedulingError
+from repro.ids.alerts import Alert, BoundedQueue
+from repro.workflow.data import DataStore
+from repro.workflow.log import SystemLog
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = ["SystemState", "SelfHealingSystem"]
+
+
+class SystemState(str, Enum):
+    """The three operating states of Section IV-C."""
+
+    NORMAL = "NORMAL"
+    SCAN = "SCAN"
+    RECOVERY = "RECOVERY"
+
+
+class SelfHealingSystem:
+    """Operational self-healing workflow system (Figure 2).
+
+    Parameters
+    ----------
+    store, log, specs_by_instance:
+        The workflow system being protected.
+    alert_buffer:
+        Capacity of the IDS-alert queue.
+    recovery_buffer:
+        Capacity of the recovery-task queue (the performance-critical
+        buffer of Section IV-E).
+    strategy:
+        Concurrency strategy (Section III-D); only ``STRICT`` changes
+        behaviour here (normal-task gating).
+    """
+
+    def __init__(
+        self,
+        store: DataStore,
+        log: SystemLog,
+        specs_by_instance: Mapping[str, WorkflowSpec],
+        alert_buffer: int = 15,
+        recovery_buffer: int = 15,
+        strategy: RecoveryStrategy = RecoveryStrategy.STRICT,
+    ) -> None:
+        self._store = store
+        self._log = log
+        self._specs = dict(specs_by_instance)
+        self._alerts: BoundedQueue[Alert] = BoundedQueue(alert_buffer)
+        self._plans: BoundedQueue[RecoveryPlan] = BoundedQueue(recovery_buffer)
+        self._strategy = strategy
+        self._analyzer = RecoveryAnalyzer(log, self._specs)
+        self._heals: List[HealReport] = []
+
+    # -- observable state ---------------------------------------------------
+
+    @property
+    def state(self) -> SystemState:
+        """Current state per Section IV-C."""
+        if len(self._alerts):
+            return SystemState.SCAN
+        if len(self._plans):
+            return SystemState.RECOVERY
+        return SystemState.NORMAL
+
+    @property
+    def alerts_queued(self) -> int:
+        """Alerts waiting for the analyzer."""
+        return len(self._alerts)
+
+    @property
+    def recovery_units_queued(self) -> int:
+        """Units of recovery tasks waiting for the scheduler."""
+        return sum(p.units for p in self._plans)
+
+    @property
+    def alerts_lost(self) -> int:
+        """Alerts rejected because the alert queue was full."""
+        return self._alerts.lost
+
+    @property
+    def heal_reports(self) -> List[HealReport]:
+        """Reports of completed recoveries, oldest first."""
+        return list(self._heals)
+
+    @property
+    def strategy(self) -> RecoveryStrategy:
+        """The configured concurrency strategy."""
+        return self._strategy
+
+    # -- the three flows ---------------------------------------------------------
+
+    def submit_alert(self, alert: Union[Alert, str]) -> bool:
+        """Offer an IDS alert; ``False`` when it was lost (queue full)."""
+        if isinstance(alert, str):
+            alert = Alert(0.0, alert)
+        return self._alerts.offer(alert)
+
+    def scan_step(self) -> Optional[RecoveryPlan]:
+        """Let the analyzer process one queued alert.
+
+        Returns the produced recovery unit, or ``None`` when there is
+        nothing to scan or the analyzer is blocked by a full recovery
+        queue (Section IV-E).
+        """
+        if not self._alerts or self._plans.full:
+            return None
+        alert = self._alerts.pop()
+        plan = self._analyzer.analyze(
+            [alert], outstanding=list(self._plans)
+        )
+        self._plans.push(plan)
+        return plan
+
+    def recovery_step(self) -> Optional[HealReport]:
+        """Execute the queued recovery units (RECOVERY state only).
+
+        All queued units are executed as one batch heal — recovery can
+        only run once the alert queue is empty, and a batch is exactly
+        the paper's "all damages of the system are identified" point.
+        Returns the heal report, or ``None`` outside RECOVERY.
+        """
+        if self.state is not SystemState.RECOVERY:
+            return None
+        uids: List[str] = []
+        while self._plans:
+            plan = self._plans.pop()
+            uids.extend(plan.alert_uids)
+        healer = Healer(self._store, self._log, self._specs)
+        report = healer.heal(uids)
+        self._heals.append(report)
+        return report
+
+    def normal_task_admissible(self) -> bool:
+        """May a normal task run right now?
+
+        Under strict correctness, normal tasks wait whenever damage
+        analysis or repair is in progress; the risk strategies admit
+        them always (accepting possible later repair).
+        """
+        if not self._strategy.blocks_normal_tasks:
+            return True
+        return self.state is SystemState.NORMAL
+
+    def run_to_quiescence(self, max_steps: int = 100_000) -> SystemState:
+        """Drive scan and recovery until the system returns to NORMAL.
+
+        "If there are no further intrusions, the recovery will
+        definitely be terminated" — this is that loop.
+        """
+        for _ in range(max_steps):
+            if self.state is SystemState.SCAN:
+                if self.scan_step() is None and self._plans.full:
+                    # Analyzer blocked with alerts pending: the paper's
+                    # deadlock-by-overflow; execute recovery to drain.
+                    raise RecoveryError(
+                        "analyzer blocked: recovery queue full while "
+                        "alerts are pending — recovery cannot start "
+                        "until the alert queue drains (increase the "
+                        "recovery buffer)"
+                    )
+            elif self.state is SystemState.RECOVERY:
+                self.recovery_step()
+            else:
+                return SystemState.NORMAL
+        raise SchedulingError(
+            f"system did not quiesce within {max_steps} steps"
+        )

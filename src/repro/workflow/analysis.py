@@ -1,0 +1,169 @@
+"""Static damage analysis over workflow specifications.
+
+The log-level analyses (Theorem 1) answer "what *did* this attack
+damage".  Designers also need the prospective question: *if* a task
+were compromised, how far could the damage spread?  That is answerable
+from specifications alone:
+
+- **potential flow**: task ``b`` (in any workflow) may read what task
+  ``a`` writes — ``W(a) ∩ R(b) ≠ ∅`` — so corruption can travel
+  ``a → b``, including across workflows through shared objects;
+- **control amplification**: corrupting any task a branch node reads
+  from can flip the branch, implicating every control-dependent task.
+
+:func:`damage_radius` computes the closure of both effects for one
+origin task; :func:`critical_tasks` ranks all tasks by radius — the
+ones worth hardening (or monitoring with a better IDS) first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.errors import UnknownTaskError
+from repro.workflow.dependency import ControlDependencies
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = ["TaskRef", "DamageRadius", "potential_flow_edges",
+           "damage_radius", "critical_tasks"]
+
+#: A task within a multi-workflow system: ``(workflow id, task id)``.
+TaskRef = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class DamageRadius:
+    """Prospective damage footprint of compromising one task.
+
+    Attributes
+    ----------
+    origin:
+        The compromised task.
+    data_reachable:
+        Tasks reachable through potential data flow (could compute on
+        corrupted values), across all workflows.
+    control_amplified:
+        Tasks whose *execution decision* could flip because a branch
+        node sits in the data-reachable set (they may run when they
+        should not, or vice versa).
+    """
+
+    origin: TaskRef
+    data_reachable: FrozenSet[TaskRef]
+    control_amplified: FrozenSet[TaskRef]
+
+    @property
+    def affected(self) -> FrozenSet[TaskRef]:
+        """Everything at risk (excluding the origin itself)."""
+        return (self.data_reachable | self.control_amplified) - {
+            self.origin
+        }
+
+    @property
+    def size(self) -> int:
+        """Number of tasks at risk."""
+        return len(self.affected)
+
+    def fraction_of(self, total_tasks: int) -> float:
+        """Radius as a fraction of the system's task count."""
+        if total_tasks <= 0:
+            return 0.0
+        return self.size / total_tasks
+
+
+def potential_flow_edges(
+    specs: Sequence[WorkflowSpec],
+) -> Dict[TaskRef, FrozenSet[TaskRef]]:
+    """Adjacency of the potential-flow graph over all workflows.
+
+    ``b ∈ edges[a]`` iff some object written by ``a`` is read by ``b``
+    (``b ≠ a``).  Cross-workflow edges arise from shared object names.
+    """
+    writers: Dict[str, Set[TaskRef]] = {}
+    readers: Dict[str, Set[TaskRef]] = {}
+    for spec in specs:
+        for task_id, task in spec.tasks.items():
+            ref = (spec.workflow_id, task_id)
+            for name in task.writes:
+                writers.setdefault(name, set()).add(ref)
+            for name in task.reads:
+                readers.setdefault(name, set()).add(ref)
+    edges: Dict[TaskRef, Set[TaskRef]] = {}
+    for spec in specs:
+        for task_id in spec.tasks:
+            edges[(spec.workflow_id, task_id)] = set()
+    for name, ws in writers.items():
+        for w in ws:
+            for r in readers.get(name, ()):
+                if r != w:
+                    edges[w].add(r)
+    return {ref: frozenset(dsts) for ref, dsts in edges.items()}
+
+
+def damage_radius(
+    specs: Sequence[WorkflowSpec],
+    origin: TaskRef,
+) -> DamageRadius:
+    """Prospective damage footprint of compromising ``origin``.
+
+    The closure alternates data propagation and control amplification:
+    a newly data-reachable branch node implicates its control
+    dependents, whose writes propagate further, and so on to fixpoint.
+    """
+    by_id = {spec.workflow_id: spec for spec in specs}
+    wf, task = origin
+    if wf not in by_id or task not in by_id[wf]:
+        raise UnknownTaskError(f"unknown origin task {origin!r}")
+    flow = potential_flow_edges(specs)
+    control = {
+        spec.workflow_id: ControlDependencies(spec) for spec in specs
+    }
+
+    data: Set[TaskRef] = {origin}
+    amplified: Set[TaskRef] = set()
+    frontier: List[TaskRef] = [origin]
+    while frontier:
+        current = frontier.pop()
+        # Data propagation.
+        for nxt in flow[current]:
+            if nxt not in data:
+                data.add(nxt)
+                frontier.append(nxt)
+        # Control amplification: if `current` feeds a branch decision
+        # (it IS a branch node or writes what one reads — covered by
+        # data reachability), the branch's dependents are implicated;
+        # their writes keep propagating.
+        cwf, ctask = current
+        spec = by_id[cwf]
+        if ctask in spec.branch_nodes:
+            for dep in control[cwf].dependents_of(ctask):
+                ref = (cwf, dep)
+                if ref not in amplified:
+                    amplified.add(ref)
+                    if ref not in data:
+                        data.add(ref)
+                        frontier.append(ref)
+    return DamageRadius(
+        origin=origin,
+        data_reachable=frozenset(data - {origin}),
+        control_amplified=frozenset(amplified),
+    )
+
+
+def critical_tasks(
+    specs: Sequence[WorkflowSpec],
+    top: int = 10,
+) -> List[DamageRadius]:
+    """All tasks ranked by damage radius, largest first.
+
+    The head of this list is where hardening budget (or IDS attention)
+    buys the most protection.
+    """
+    radii = [
+        damage_radius(specs, (spec.workflow_id, task_id))
+        for spec in specs
+        for task_id in sorted(spec.tasks)
+    ]
+    radii.sort(key=lambda r: (-r.size, r.origin))
+    return radii[:top]

@@ -1,0 +1,100 @@
+"""Graph analyses behind control dependency (Section II-D).
+
+The paper defines control dependency through two graph notions:
+
+- an *unavoidable node* exists in **all** execution paths of the workflow;
+- a *dominant node* of ``t_j`` is any branch node (outdegree > 1) on the
+  path from the start node to ``t_j``.
+
+``t_j`` is control dependent on each of its dominant nodes unless ``t_j``
+is unavoidable.  We compute dominant nodes with classic dominator analysis
+(a node ``d`` dominates ``n`` when every path from the start to ``n``
+passes through ``d``), and unavoidable nodes with a cut characterization:
+``v`` is unavoidable iff removing ``v`` disconnects the start node from
+every end node (or ``v`` is itself the start/the only end).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = ["dominators", "unavoidable_nodes", "branch_nodes"]
+
+
+def branch_nodes(spec: WorkflowSpec) -> FrozenSet[str]:
+    """Nodes of ``spec`` with outdegree greater than one."""
+    return spec.branch_nodes
+
+
+def dominators(spec: WorkflowSpec) -> Dict[str, FrozenSet[str]]:
+    """Dominator sets for every node of the workflow graph.
+
+    ``dominators(spec)[n]`` contains every node (including ``n`` itself)
+    that lies on *all* paths from the start node to ``n``.  Computed with
+    the standard iterative data-flow algorithm; handles cycles.
+    """
+    nodes = list(spec.tasks)
+    start = spec.start
+    all_nodes = set(nodes)
+    dom: Dict[str, Set[str]] = {n: set(all_nodes) for n in nodes}
+    dom[start] = {start}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            if n == start:
+                continue
+            preds = spec.predecessors(n)
+            if preds:
+                new = set(all_nodes)
+                for p in preds:
+                    new &= dom[p]
+            else:  # unreachable is impossible in a validated spec
+                new = set()
+            new.add(n)
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return {n: frozenset(s) for n, s in dom.items()}
+
+
+def unavoidable_nodes(spec: WorkflowSpec) -> FrozenSet[str]:
+    """Nodes present in every execution path of the workflow.
+
+    ``v`` is unavoidable iff after deleting ``v`` no end node remains
+    reachable from the start node.  The start node is always unavoidable;
+    an end node is unavoidable iff it is the only way to terminate.
+    """
+    start = spec.start
+    ends = spec.ends
+    result: Set[str] = set()
+    for v in spec.tasks:
+        if v == start:
+            result.add(v)
+            continue
+        if _reaches_end_without(spec, avoid=v):
+            continue
+        result.add(v)
+    return frozenset(result)
+
+
+def _reaches_end_without(spec: WorkflowSpec, avoid: str) -> bool:
+    """Can the start node still reach some end node if ``avoid`` is
+    removed from the graph?"""
+    start = spec.start
+    if start == avoid:
+        return False
+    ends = spec.ends
+    seen: Set[str] = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if node in ends:
+            return True
+        for nxt in spec.successors(node):
+            if nxt != avoid and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False

@@ -1,0 +1,400 @@
+"""A small, safe expression language for task bodies.
+
+Task bodies written as Python callables cannot be serialized, inspected
+or transported — yet decentralized workflow processing (Section VII)
+needs specifications that travel as *data*.  This module provides a tiny
+expression language that is:
+
+- **safe** — no attribute access, no calls except a whitelist
+  (``min``/``max``/``abs``), no statements, no side effects;
+- **analyzable** — the free variables of an expression are its read
+  set, so task read sets are inferred instead of declared twice;
+- **deterministic** — exactly what recovery's re-execution requires.
+
+Grammar (classic recursive descent)::
+
+    expr    := or_ ( '?' expr ':' expr )?          # C-style conditional
+    or_     := and_ ( 'or' and_ )*
+    and_    := not_ ( 'and' not_ )*
+    not_    := 'not' not_ | cmp
+    cmp     := sum ( ('=='|'!='|'<='|'>='|'<'|'>') sum )?
+    sum     := term ( ('+'|'-') term )*
+    term    := unary ( ('*'|'//'|'/'|'%') unary )*
+    unary   := '-' unary | atom
+    atom    := NUMBER | NAME | 'true' | 'false'
+             | FUNC '(' expr (',' expr)* ')' | '(' expr ')'
+
+Booleans are represented as 1/0 so every expression evaluates to a
+number — convenient for both data values and branch conditions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+__all__ = ["ExprError", "Expr", "compile_expr"]
+
+
+class ExprError(ReproError):
+    """An expression failed to tokenize, parse or evaluate."""
+
+
+Number = Union[int, float]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>==|!=|<=|>=|//|[-+*/%()<>?:,])"
+    r")"
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false"}
+_FUNCTIONS: Dict[str, Callable[..., Number]] = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+}
+
+
+def _tokenize(source: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None or match.end() == pos:
+            rest = source[pos:].strip()
+            if not rest:
+                break
+            raise ExprError(
+                f"cannot tokenize {rest[:10]!r} in expression {source!r}"
+            )
+        pos = match.end()
+        if match.group("number") is not None:
+            tokens.append(("number", match.group("number")))
+        elif match.group("name") is not None:
+            name = match.group("name")
+            kind = "keyword" if name in _KEYWORDS else "name"
+            tokens.append((kind, name))
+        else:
+            tokens.append(("op", match.group("op")))
+    return tokens
+
+
+# -- AST -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Num:
+    value: Number
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        return self.value
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class _Name:
+    name: str
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise ExprError(f"unbound variable {self.name!r}") from None
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+
+_BINOPS: Dict[str, Callable[[Number, Number], Number]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: 1 if a == b else 0,
+    "!=": lambda a, b: 1 if a != b else 0,
+    "<": lambda a, b: 1 if a < b else 0,
+    "<=": lambda a, b: 1 if a <= b else 0,
+    ">": lambda a, b: 1 if a > b else 0,
+    ">=": lambda a, b: 1 if a >= b else 0,
+}
+
+
+@dataclass(frozen=True)
+class _BinOp:
+    op: str
+    left: Any
+    right: Any
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        try:
+            return _BINOPS[self.op](self.left.eval(env),
+                                    self.right.eval(env))
+        except ZeroDivisionError:
+            raise ExprError(
+                f"division by zero in '{self.op}' expression"
+            ) from None
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        return self.left.names | self.right.names
+
+
+@dataclass(frozen=True)
+class _BoolOp:
+    op: str  # "and" | "or"
+    left: Any
+    right: Any
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        left = self.left.eval(env)
+        if self.op == "and":
+            if not left:
+                return 0
+            return 1 if self.right.eval(env) else 0
+        if left:
+            return 1
+        return 1 if self.right.eval(env) else 0
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        # Short-circuit still *may* read both sides; the read set is the
+        # conservative union (recovery needs the full dependence).
+        return self.left.names | self.right.names
+
+
+@dataclass(frozen=True)
+class _Not:
+    operand: Any
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        return 0 if self.operand.eval(env) else 1
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        return self.operand.names
+
+
+@dataclass(frozen=True)
+class _Neg:
+    operand: Any
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        return -self.operand.eval(env)
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        return self.operand.names
+
+
+@dataclass(frozen=True)
+class _Cond:
+    test: Any
+    then: Any
+    other: Any
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        return (self.then if self.test.eval(env) else self.other).eval(env)
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        return self.test.names | self.then.names | self.other.names
+
+
+@dataclass(frozen=True)
+class _Call:
+    fn: str
+    args: Tuple[Any, ...]
+
+    def eval(self, env: Mapping[str, Any]) -> Number:
+        return _FUNCTIONS[self.fn](*(a.eval(env) for a in self.args))
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for a in self.args:
+            out |= a.names
+        return out
+
+
+# -- parser ---------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._tokens = _tokenize(source)
+        self._pos = 0
+
+    def parse(self):
+        node = self._expr()
+        if self._pos != len(self._tokens):
+            kind, text = self._tokens[self._pos]
+            raise ExprError(
+                f"unexpected {text!r} after expression in "
+                f"{self._source!r}"
+            )
+        return node
+
+    # helpers ----------------------------------------------------------
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _take(self, kind: str, text: Optional[str] = None) -> str:
+        tok = self._peek()
+        if tok is None or tok[0] != kind or (
+            text is not None and tok[1] != text
+        ):
+            expected = text if text is not None else kind
+            got = tok[1] if tok else "end of input"
+            raise ExprError(
+                f"expected {expected!r}, got {got!r} in {self._source!r}"
+            )
+        self._pos += 1
+        return tok[1]
+
+    def _accept(self, kind: str, *texts: str) -> Optional[str]:
+        tok = self._peek()
+        if tok is not None and tok[0] == kind and (
+            not texts or tok[1] in texts
+        ):
+            self._pos += 1
+            return tok[1]
+        return None
+
+    # grammar ------------------------------------------------------------
+
+    def _expr(self):
+        node = self._or()
+        if self._accept("op", "?"):
+            then = self._expr()
+            self._take("op", ":")
+            other = self._expr()
+            return _Cond(node, then, other)
+        return node
+
+    def _or(self):
+        node = self._and()
+        while self._accept("keyword", "or"):
+            node = _BoolOp("or", node, self._and())
+        return node
+
+    def _and(self):
+        node = self._not()
+        while self._accept("keyword", "and"):
+            node = _BoolOp("and", node, self._not())
+        return node
+
+    def _not(self):
+        if self._accept("keyword", "not"):
+            return _Not(self._not())
+        return self._cmp()
+
+    def _cmp(self):
+        node = self._sum()
+        op = self._accept("op", "==", "!=", "<=", ">=", "<", ">")
+        if op:
+            node = _BinOp(op, node, self._sum())
+        return node
+
+    def _sum(self):
+        node = self._term()
+        while True:
+            op = self._accept("op", "+", "-")
+            if not op:
+                return node
+            node = _BinOp(op, node, self._term())
+
+    def _term(self):
+        node = self._unary()
+        while True:
+            op = self._accept("op", "*", "//", "/", "%")
+            if not op:
+                return node
+            node = _BinOp(op, node, self._unary())
+
+    def _unary(self):
+        if self._accept("op", "-"):
+            return _Neg(self._unary())
+        return self._atom()
+
+    def _atom(self):
+        tok = self._peek()
+        if tok is None:
+            raise ExprError(f"unexpected end of {self._source!r}")
+        kind, text = tok
+        if kind == "number":
+            self._pos += 1
+            value: Number = float(text) if "." in text else int(text)
+            return _Num(value)
+        if kind == "keyword" and text in ("true", "false"):
+            self._pos += 1
+            return _Num(1 if text == "true" else 0)
+        if kind == "name":
+            self._pos += 1
+            if text in _FUNCTIONS and self._accept("op", "("):
+                args = [self._expr()]
+                while self._accept("op", ","):
+                    args.append(self._expr())
+                self._take("op", ")")
+                return _Call(text, tuple(args))
+            if text in _FUNCTIONS:
+                raise ExprError(
+                    f"function {text!r} must be called in "
+                    f"{self._source!r}"
+                )
+            return _Name(text)
+        if kind == "op" and text == "(":
+            self._pos += 1
+            node = self._expr()
+            self._take("op", ")")
+            return node
+        raise ExprError(f"unexpected {text!r} in {self._source!r}")
+
+
+class Expr:
+    """A compiled expression.
+
+    >>> e = compile_expr("qty * unit + (rush ? 10 : 0)")
+    >>> sorted(e.names)
+    ['qty', 'rush', 'unit']
+    >>> e({"qty": 3, "unit": 20, "rush": 1})
+    70
+    """
+
+    __slots__ = ("source", "_ast", "names")
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._ast = _Parser(source).parse()
+        #: Free variables — the expression's read set.
+        self.names: FrozenSet[str] = self._ast.names
+
+    def __call__(self, env: Mapping[str, Any]) -> Number:
+        """Evaluate against ``env`` (a name → value mapping)."""
+        return self._ast.eval(env)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Expr({self.source!r})"
+
+
+def compile_expr(source: str) -> Expr:
+    """Compile ``source`` into an :class:`Expr` (raises
+    :class:`ExprError` on syntax errors)."""
+    if not isinstance(source, str) or not source.strip():
+        raise ExprError("expression source must be a non-empty string")
+    return Expr(source)

@@ -1,0 +1,97 @@
+"""Partial-order task scheduler.
+
+"The task scheduler schedules both recovery tasks and normal tasks
+according to their partial orders" (Section IV-A), repeatedly executing
+``minimal(S, ≺)``.  This module provides that executor over any
+:class:`~repro.workflow.precedence.PartialOrder`: it runs every element
+in some linear extension, invoking a caller-supplied executor callback,
+and records the order actually taken.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    Callable,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    TypeVar,
+)
+
+from repro.errors import CyclicOrderError
+from repro.workflow.precedence import PartialOrder, minimal
+
+__all__ = ["PartialOrderScheduler"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class PartialOrderScheduler(Generic[T]):
+    """Executes the elements of a partial order, minimal-first.
+
+    Parameters
+    ----------
+    order:
+        The constraints to respect.  Checked for cycles up front.
+    executor:
+        Called once per element when it is dispatched.  Exceptions
+        propagate to the caller of :meth:`run`; the schedule so far is
+        preserved in :attr:`executed`.
+    rng:
+        Randomizes tie-breaking among minimal elements (the paper:
+        "we randomly select one qualified result"); deterministic
+        (sorted by ``repr``) when omitted.
+    """
+
+    def __init__(
+        self,
+        order: PartialOrder[T],
+        executor: Callable[[T], None],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        order.check_acyclic()
+        self._order = order
+        self._executor = executor
+        self._rng = rng
+        self._executed: List[T] = []
+
+    @property
+    def executed(self) -> List[T]:
+        """Elements dispatched so far, in dispatch order."""
+        return list(self._executed)
+
+    @property
+    def pending(self) -> Set[T]:
+        """Elements not yet dispatched."""
+        return set(self._order.elements()) - set(self._executed)
+
+    def step(self) -> Optional[T]:
+        """Dispatch one minimal pending element; ``None`` when done."""
+        pending = self.pending
+        if not pending:
+            return None
+        # Minimality is judged against pending elements only: an element
+        # whose predecessors all executed is free to run.
+        candidates = [
+            x
+            for x in pending
+            if not (self._order.direct_predecessors(x) & pending)
+        ]
+        if not candidates:
+            raise CyclicOrderError(
+                "no dispatchable element — cycle among pending tasks"
+            )
+        chosen = minimal(candidates, self._order, rng=self._rng)
+        self._executor(chosen)
+        self._executed.append(chosen)
+        return chosen
+
+    def run(self) -> List[T]:
+        """Dispatch everything; returns the realized linear extension."""
+        while self.step() is not None:
+            pass
+        return self.executed

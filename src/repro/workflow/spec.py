@@ -1,0 +1,282 @@
+"""Workflow specifications.
+
+A workflow is a directed graph ``⟨V, E⟩`` (Section II-A): ``V`` is a set of
+tasks, and ``(t_i, t_j) ∈ E`` means ``t_j`` may execute immediately after
+``t_i``.  The graph has exactly one start node (0-indegree) and at least one
+end node (0-outdegree).  Branch nodes (outdegree > 1) *choose* one successor
+per execution — branches are alternative execution paths, not parallel
+forks.  Cycles are allowed; repeated visits to a node become distinct task
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import UnknownTaskError, WorkflowSpecError
+from repro.workflow.task import ChooseFn, ComputeFn, TaskSpec
+
+__all__ = ["WorkflowSpec", "workflow", "WorkflowBuilder"]
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """An immutable, validated workflow graph.
+
+    Use :func:`workflow` (a fluent builder) or the constructor directly.
+
+    Attributes
+    ----------
+    workflow_id:
+        Name of the workflow (shared by all of its instances).
+    tasks:
+        Mapping from task id to :class:`~repro.workflow.task.TaskSpec`.
+    edges:
+        The immediate-precedence edges of the graph.
+    """
+
+    workflow_id: str
+    tasks: Dict[str, TaskSpec]
+    edges: FrozenSet[Tuple[str, str]]
+    _succ: Dict[str, Tuple[str, ...]] = field(repr=False, default_factory=dict)
+    _pred: Dict[str, Tuple[str, ...]] = field(repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edges", frozenset(self.edges))
+        succ: Dict[str, List[str]] = {t: [] for t in self.tasks}
+        pred: Dict[str, List[str]] = {t: [] for t in self.tasks}
+        for src, dst in sorted(self.edges):
+            if src not in self.tasks:
+                raise UnknownTaskError(
+                    f"edge source {src!r} not declared in workflow "
+                    f"{self.workflow_id!r}"
+                )
+            if dst not in self.tasks:
+                raise UnknownTaskError(
+                    f"edge target {dst!r} not declared in workflow "
+                    f"{self.workflow_id!r}"
+                )
+            succ[src].append(dst)
+            pred[dst].append(src)
+        object.__setattr__(
+            self, "_succ", {t: tuple(v) for t, v in succ.items()}
+        )
+        object.__setattr__(
+            self, "_pred", {t: tuple(v) for t, v in pred.items()}
+        )
+        self._validate()
+
+    # -- structure ---------------------------------------------------------
+
+    def successors(self, task_id: str) -> Tuple[str, ...]:
+        """Immediate successors of ``task_id`` in the graph."""
+        self._require(task_id)
+        return self._succ[task_id]
+
+    def predecessors(self, task_id: str) -> Tuple[str, ...]:
+        """Immediate predecessors of ``task_id`` in the graph."""
+        self._require(task_id)
+        return self._pred[task_id]
+
+    @property
+    def start(self) -> str:
+        """The unique 0-indegree start node."""
+        starts = [t for t in self.tasks if not self._pred[t]]
+        return starts[0]
+
+    @property
+    def ends(self) -> FrozenSet[str]:
+        """The 0-outdegree end nodes."""
+        return frozenset(t for t in self.tasks if not self._succ[t])
+
+    @property
+    def branch_nodes(self) -> FrozenSet[str]:
+        """Nodes with outdegree greater than one (path choices)."""
+        return frozenset(t for t in self.tasks if len(self._succ[t]) > 1)
+
+    def task(self, task_id: str) -> TaskSpec:
+        """Look up a task spec by id, raising :class:`UnknownTaskError`."""
+        self._require(task_id)
+        return self.tasks[task_id]
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self.tasks
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    # -- paths --------------------------------------------------------------
+
+    def execution_paths(self, max_paths: int = 1000,
+                        max_len: Optional[int] = None) -> List[Tuple[str, ...]]:
+        """Enumerate execution paths from the start node to an end node.
+
+        For cyclic workflows the path set is infinite; enumeration stops
+        after ``max_paths`` paths or when a path exceeds ``max_len`` nodes
+        (default: ``2 * len(V) + 2``, enough to unroll each cycle once).
+
+        Returns paths in DFS order as tuples of task ids.
+        """
+        limit = max_len if max_len is not None else 2 * len(self.tasks) + 2
+        paths: List[Tuple[str, ...]] = []
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(self.start, (self.start,))]
+        ends = self.ends
+        while stack and len(paths) < max_paths:
+            node, path = stack.pop()
+            if node in ends:
+                paths.append(path)
+                continue
+            if len(path) >= limit:
+                continue
+            for nxt in reversed(self._succ[node]):
+                stack.append((nxt, path + (nxt,)))
+        return paths
+
+    def reachable_from(self, task_id: str) -> FrozenSet[str]:
+        """All nodes reachable from ``task_id`` (excluding itself unless
+        it lies on a cycle through itself)."""
+        self._require(task_id)
+        seen: Set[str] = set()
+        frontier = list(self._succ[task_id])
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._succ[node])
+        return frozenset(seen)
+
+    def is_acyclic(self) -> bool:
+        """True when the workflow graph contains no cycles."""
+        color: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            color[node] = 1
+            for nxt in self._succ[node]:
+                state = color.get(nxt, 0)
+                if state == 1:
+                    return False
+                if state == 0 and not visit(nxt):
+                    return False
+            color[node] = 2
+            return True
+
+        return all(visit(t) for t in self.tasks if color.get(t, 0) == 0)
+
+    # -- internal ------------------------------------------------------------
+
+    def _require(self, task_id: str) -> None:
+        if task_id not in self.tasks:
+            raise UnknownTaskError(
+                f"task {task_id!r} not in workflow {self.workflow_id!r}"
+            )
+
+    def _validate(self) -> None:
+        if not self.tasks:
+            raise WorkflowSpecError(
+                f"workflow {self.workflow_id!r} has no tasks"
+            )
+        starts = [t for t in self.tasks if not self._pred[t]]
+        if len(starts) != 1:
+            raise WorkflowSpecError(
+                f"workflow {self.workflow_id!r} must have exactly one "
+                f"0-indegree start node, found {sorted(starts)}"
+            )
+        if not any(not self._succ[t] for t in self.tasks):
+            raise WorkflowSpecError(
+                f"workflow {self.workflow_id!r} has no 0-outdegree end node"
+            )
+        unreachable = (
+            set(self.tasks) - {starts[0]} - set(self.reachable_from(starts[0]))
+        )
+        if unreachable:
+            raise WorkflowSpecError(
+                f"workflow {self.workflow_id!r} has unreachable tasks: "
+                f"{sorted(unreachable)}"
+            )
+        for t in self.branch_nodes:
+            if self.tasks[t].choose is None:
+                raise WorkflowSpecError(
+                    f"branch node {t!r} (outdegree "
+                    f"{len(self._succ[t])}) needs a choose function"
+                )
+
+
+class WorkflowBuilder:
+    """Fluent builder for :class:`WorkflowSpec`.
+
+    Example
+    -------
+    >>> spec = (
+    ...     workflow("transfer")
+    ...     .task("t1", reads=["req"], writes=["amount"],
+    ...           compute=lambda d: {"amount": d["req"]})
+    ...     .task("t2", reads=["amount"], writes=[],
+    ...           choose=lambda d: "t3" if d["amount"] > 100 else "t4")
+    ...     .task("t3", reads=["amount"], writes=["fee"],
+    ...           compute=lambda d: {"fee": d["amount"] * 0.01})
+    ...     .task("t4", reads=[], writes=["fee"], compute=lambda d: {"fee": 0})
+    ...     .edge("t1", "t2").edge("t2", "t3").edge("t2", "t4")
+    ...     .build()
+    ... )
+    >>> spec.start
+    't1'
+    """
+
+    def __init__(self, workflow_id: str) -> None:
+        self._workflow_id = workflow_id
+        self._tasks: Dict[str, TaskSpec] = {}
+        self._edges: Set[Tuple[str, str]] = set()
+
+    def task(
+        self,
+        task_id: str,
+        reads: Iterable[str] = (),
+        writes: Iterable[str] = (),
+        compute: Optional[ComputeFn] = None,
+        choose: Optional[ChooseFn] = None,
+        description: str = "",
+    ) -> "WorkflowBuilder":
+        """Declare a task.  See :class:`~repro.workflow.task.TaskSpec`."""
+        if task_id in self._tasks:
+            raise WorkflowSpecError(
+                f"duplicate task id {task_id!r} in workflow "
+                f"{self._workflow_id!r}"
+            )
+        self._tasks[task_id] = TaskSpec(
+            task_id=task_id,
+            reads=frozenset(reads),
+            writes=frozenset(writes),
+            compute=compute,
+            choose=choose,
+            description=description,
+        )
+        return self
+
+    def edge(self, src: str, dst: str) -> "WorkflowBuilder":
+        """Declare an immediate-precedence edge ``src → dst``."""
+        self._edges.add((src, dst))
+        return self
+
+    def chain(self, *task_ids: str) -> "WorkflowBuilder":
+        """Declare edges along a chain ``t_1 → t_2 → ... → t_n``."""
+        for a, b in zip(task_ids, task_ids[1:]):
+            self.edge(a, b)
+        return self
+
+    def build(self) -> WorkflowSpec:
+        """Validate and freeze the specification."""
+        return WorkflowSpec(
+            workflow_id=self._workflow_id,
+            tasks=dict(self._tasks),
+            edges=frozenset(self._edges),
+        )
+
+
+def workflow(workflow_id: str) -> WorkflowBuilder:
+    """Start building a workflow specification named ``workflow_id``."""
+    return WorkflowBuilder(workflow_id)

@@ -1,0 +1,62 @@
+"""Unit tests for alerts and the bounded queues of the architecture."""
+
+import pytest
+
+from repro.errors import QueueFullError
+from repro.ids.alerts import Alert, BoundedQueue
+
+
+class TestAlert:
+    def test_orders_by_detection_time(self):
+        early = Alert(1.0, "w/t2#1")
+        late = Alert(5.0, "w/t1#1")
+        assert early < late
+        assert sorted([late, early])[0] is early
+
+    def test_genuine_default(self):
+        assert Alert(0.0, "u").genuine
+        assert not Alert(0.0, "u", genuine=False).genuine
+
+
+class TestBoundedQueue:
+    def test_fifo(self):
+        q = BoundedQueue(3)
+        for x in "abc":
+            assert q.offer(x)
+        assert q.pop() == "a"
+        assert q.peek() == "b"
+        assert len(q) == 2
+
+    def test_offer_counts_losses_when_full(self):
+        q = BoundedQueue(2)
+        q.offer("a")
+        q.offer("b")
+        assert not q.offer("c")
+        assert q.lost == 1
+        assert q.accepted == 2
+        assert q.full
+
+    def test_push_raises_without_counting_loss(self):
+        q = BoundedQueue(1)
+        q.push("a")
+        with pytest.raises(QueueFullError):
+            q.push("b")
+        assert q.lost == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+    def test_truthiness_and_iteration(self):
+        q = BoundedQueue(2)
+        assert not q
+        q.offer(1)
+        q.offer(2)
+        assert q and list(q) == [1, 2]
+
+    def test_drain_reopens_capacity(self):
+        q = BoundedQueue(1)
+        q.offer("a")
+        assert not q.offer("b")
+        q.pop()
+        assert q.offer("c")

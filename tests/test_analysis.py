@@ -1,0 +1,111 @@
+"""Tests for static damage-radius analysis."""
+
+import pytest
+
+from repro.errors import UnknownTaskError
+from repro.scenarios.figure1 import build_figure1
+from repro.workflow.analysis import (
+    critical_tasks,
+    damage_radius,
+    potential_flow_edges,
+)
+from repro.workflow.spec import workflow
+
+
+def figure1_specs():
+    sc = build_figure1(attacked=False)
+    return [sc.specs_by_instance["wf1"], sc.specs_by_instance["wf2"]]
+
+
+class TestPotentialFlow:
+    def test_cross_workflow_edges_via_shared_objects(self):
+        specs = figure1_specs()
+        edges = potential_flow_edges(specs)
+        # t1 writes x; t8 (other workflow) reads x.
+        assert ("wf2", "t8") in edges[("wf1", "t1")]
+        assert ("wf1", "t2") in edges[("wf1", "t1")]
+
+    def test_no_self_edges(self):
+        spec = (
+            workflow("w")
+            .task("a", reads=["x"], writes=["x"],
+                  compute=lambda d: {"x": d["x"] + 1})
+            .build()
+        )
+        edges = potential_flow_edges([spec])
+        assert edges[("w", "a")] == frozenset()
+
+    def test_chain_structure(self):
+        spec = (
+            workflow("w")
+            .task("a", writes=["p"], compute=lambda d: {"p": 1})
+            .task("b", reads=["p"], writes=["q"],
+                  compute=lambda d: {"q": d["p"]})
+            .task("c", reads=["q"], writes=["r"],
+                  compute=lambda d: {"r": d["q"]})
+            .chain("a", "b", "c")
+            .build()
+        )
+        edges = potential_flow_edges([spec])
+        assert edges[("w", "a")] == frozenset({("w", "b")})
+        assert edges[("w", "b")] == frozenset({("w", "c")})
+
+
+class TestDamageRadius:
+    def test_figure1_t1_reaches_both_workflows(self):
+        specs = figure1_specs()
+        radius = damage_radius(specs, ("wf1", "t1"))
+        affected_tasks = {t for _, t in radius.affected}
+        # The paper's marks: data infection t2 t4 t8 t10, control
+        # amplification t3/t4/t5, cond-4 reader t6 via t5's write.
+        assert {"t2", "t4", "t8", "t10"} <= affected_tasks
+        assert {"t3", "t5"} <= affected_tasks
+        assert "t6" in affected_tasks
+
+    def test_control_amplification_through_branch(self):
+        specs = figure1_specs()
+        radius = damage_radius(specs, ("wf1", "t1"))
+        amplified = {t for _, t in radius.control_amplified}
+        assert {"t3", "t4", "t5"} <= amplified
+
+    def test_leaf_task_has_empty_radius(self):
+        specs = figure1_specs()
+        radius = damage_radius(specs, ("wf2", "t10"))
+        assert radius.size == 0
+        assert radius.fraction_of(10) == 0.0
+
+    def test_unknown_origin_rejected(self):
+        with pytest.raises(UnknownTaskError):
+            damage_radius(figure1_specs(), ("wf1", "ghost"))
+
+    def test_fraction_of(self):
+        specs = figure1_specs()
+        radius = damage_radius(specs, ("wf1", "t1"))
+        assert 0 < radius.fraction_of(10) <= 1.0
+
+
+class TestCriticalTasks:
+    def test_figure1_t1_is_most_critical(self):
+        specs = figure1_specs()
+        ranking = critical_tasks(specs, top=3)
+        assert ranking[0].origin == ("wf1", "t1")
+        sizes = [r.size for r in ranking]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_top_limits_results(self):
+        specs = figure1_specs()
+        assert len(critical_tasks(specs, top=2)) == 2
+
+    def test_ranking_matches_operational_damage(self):
+        """The static radius of t1 contains everything the operational
+        heal of the Figure 1 attack actually touched."""
+        sc = build_figure1(attacked=True)
+        report = sc.heal_now()
+        touched_tasks = {
+            u.split("/")[1].split("#")[0]
+            for u in (set(report.undone) | set(report.new_executions))
+        } - {"t1"}
+        specs = [sc.specs_by_instance["wf1"], sc.specs_by_instance["wf2"]]
+        radius = damage_radius(specs, ("wf1", "t1"))
+        radius_tasks = {t for _, t in radius.affected}
+        assert touched_tasks <= radius_tasks

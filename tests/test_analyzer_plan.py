@@ -1,0 +1,116 @@
+"""Tests for the recovery analyzer and recovery plans."""
+
+import random
+
+import pytest
+
+from repro.core.actions import Action, ActionKind
+from repro.core.analyzer import RecoveryAnalyzer
+from repro.ids.alerts import Alert
+
+
+@pytest.fixture
+def fig1_plan(figure1):
+    analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+    plan = analyzer.analyze([Alert(0.0, figure1.malicious_uid)])
+    return figure1, analyzer, plan
+
+
+class TestRecoveryAnalyzer:
+    def test_plan_covers_definite_damage(self, fig1_plan):
+        figure1, analyzer, plan = fig1_plan
+        undo_uids = {a.uid for a in plan.undo_actions}
+        assert undo_uids == {
+            "wf1/t1#1", "wf1/t2#1", "wf1/t4#1", "wf2/t8#1", "wf2/t10#1"
+        }
+
+    def test_plan_redo_actions_definite_only(self, fig1_plan):
+        figure1, analyzer, plan = fig1_plan
+        redo_uids = {a.uid for a in plan.redo_actions}
+        # t4 is a candidate redo (control dependent on bad t2), so it is
+        # not in the definite schedule.
+        assert redo_uids == {
+            "wf1/t1#1", "wf1/t2#1", "wf2/t8#1", "wf2/t10#1"
+        }
+
+    def test_units_count_alerts(self, figure1):
+        analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+        plan = analyzer.analyze(
+            [Alert(0.0, figure1.malicious_uid), Alert(1.0, "wf2/t7#1")]
+        )
+        assert plan.units == 2
+        assert plan.alert_uids == (figure1.malicious_uid, "wf2/t7#1")
+
+    def test_accepts_bare_uids(self, figure1):
+        analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+        plan = analyzer.analyze([figure1.malicious_uid])
+        assert plan.units == 1
+
+    def test_analysis_cost_grows_with_queue(self, figure1):
+        analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+        assert analyzer.analysis_cost(4) > analyzer.analysis_cost(1)
+
+    def test_cross_unit_constraints_on_conflicts(self, figure1):
+        """A new unit touching the same instances/objects as a queued
+        unit is ordered after it (Section V-A's cross-checking work)."""
+        analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+        first = analyzer.analyze([figure1.malicious_uid])
+        # The same alert again: total overlap ⇒ many constraints, all
+        # pointing from the outstanding unit to the new one.
+        second = analyzer.analyze(
+            [figure1.malicious_uid], outstanding=[first]
+        )
+        assert second.cross_unit_constraints
+        firsts = first.order.elements()
+        seconds = second.order.elements()
+        for prior, new in second.cross_unit_constraints:
+            assert prior in firsts
+            assert new in seconds
+
+    def test_no_cross_unit_constraints_without_outstanding(self, figure1):
+        analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+        plan = analyzer.analyze([figure1.malicious_uid])
+        assert plan.cross_unit_constraints == ()
+
+    def test_disjoint_units_unconstrained(self, figure1):
+        """Units about non-conflicting tasks need no cross ordering."""
+        analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+        # t7 writes only p; t3 reads c and writes u — no shared objects.
+        first = analyzer.analyze(["wf2/t7#1"])
+        second = analyzer.analyze(["wf1/t3#1"], outstanding=[first])
+        shared_object_conflicts = [
+            (p, n) for p, n in second.cross_unit_constraints
+        ]
+        assert not shared_object_conflicts
+
+    def test_analyzer_never_mutates(self, figure1):
+        snapshot = figure1.store.snapshot()
+        n_records = len(figure1.log)
+        analyzer = RecoveryAnalyzer(figure1.log, figure1.specs_by_instance)
+        analyzer.analyze([figure1.malicious_uid])
+        assert figure1.store.snapshot() == snapshot
+        assert len(figure1.log) == n_records
+
+
+class TestRecoveryPlan:
+    def test_schedule_is_linear_extension(self, fig1_plan):
+        figure1, analyzer, plan = fig1_plan
+        schedule = plan.schedule()
+        assert set(schedule) == set(plan.order.elements())
+        for before, after in plan.order.edges():
+            assert schedule.index(before) < schedule.index(after)
+
+    def test_schedule_random_tiebreak_still_valid(self, fig1_plan):
+        figure1, analyzer, plan = fig1_plan
+        for seed in range(5):
+            schedule = plan.schedule(rng=random.Random(seed))
+            for before, after in plan.order.edges():
+                assert schedule.index(before) < schedule.index(after)
+
+    def test_total_actions_and_summary(self, fig1_plan):
+        figure1, analyzer, plan = fig1_plan
+        assert plan.total_actions == len(plan.undo_actions) + len(
+            plan.redo_actions
+        )
+        text = plan.summary()
+        assert "1 alerts" in text and "definite undo" in text

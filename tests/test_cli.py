@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_model_defaults(self):
+        args = build_parser().parse_args(["steady"])
+        assert args.lam == 1.0 and args.mu1 == 15.0 and args.buffer == 15
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "nonsense"])
+
+
+class TestDemo:
+    @pytest.mark.parametrize("scenario", ["figure1", "banking", "travel",
+                                          "supply-chain"])
+    def test_demos_succeed(self, scenario, capsys):
+        assert main(["demo", scenario]) == 0
+        out = capsys.readouterr().out
+        assert "strictly correct: True" in out
+
+    def test_figure1_lists_dispositions(self, capsys):
+        main(["demo", "figure1"])
+        out = capsys.readouterr().out
+        assert "abandoned" in out and "t3 t4" in out
+
+
+class TestSteady:
+    def test_prints_metrics(self, capsys):
+        assert main(["steady", "--lam", "0.5", "--buffer", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "P(normal)" in out
+        assert "loss probability" in out
+
+    def test_overloaded_system_visible(self, capsys):
+        main(["steady", "--lam", "4", "--buffer", "6"])
+        out = capsys.readouterr().out
+        assert "P(scan)" in out
+
+
+class TestTransient:
+    def test_times_listed(self, capsys):
+        assert main(["transient", "--buffer", "5",
+                     "--t", "0.5", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "E[lost alerts]" in out
+        assert "0.5" in out and "2" in out
+
+
+class TestDesign:
+    def test_feasible_design_exit_zero(self, capsys):
+        code = main(["design", "--lam", "1", "--epsilon", "0.01",
+                     "--peak", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible" in out
+        assert "peak rate" in out
+
+    def test_infeasible_design_exit_one(self, capsys):
+        code = main(["design", "--lam", "2", "--epsilon", "1e-6",
+                     "--mu1", "2", "--xi1", "3", "--max-buffer", "8"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INFEASIBLE" in out
+
+
+class TestSimulate:
+    def test_simulation_table(self, capsys):
+        assert main(["simulate", "--buffer", "4",
+                     "--horizon", "500", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out and "simulated" in out
+        assert "alerts:" in out
+
+
+class TestSensitivity:
+    def test_prints_elasticities(self, capsys):
+        assert main(["sensitivity", "--buffer", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "elasticity of loss" in out
+        assert "lambda" in out and "xi1" in out
+
+
+class TestStgDot:
+    def test_dot_output(self, capsys):
+        assert main(["stg-dot", "--buffer", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph stg {")
+        assert '"N"' in out
+
+
+class TestWorkflowDot:
+    def test_renders_document_file(self, capsys, tmp_path):
+        from repro.workflow.serialize import TaskDocument, WorkflowDocument
+
+        doc = WorkflowDocument(
+            workflow_id="demo",
+            tasks=(
+                TaskDocument("a", writes={"x": "1"}),
+                TaskDocument("b", writes={"y": "x + 1"}),
+            ),
+            edges=(("a", "b"),),
+        )
+        path = tmp_path / "wf.json"
+        path.write_text(doc.to_json())
+        assert main(["workflow-dot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "demo" {')
+        assert '"a" -> "b";' in out
+
+    def test_invalid_document_raises(self, tmp_path):
+        from repro.errors import WorkflowSpecError
+
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(WorkflowSpecError):
+            main(["workflow-dot", str(path)])

@@ -1,0 +1,116 @@
+"""Tests for the operational strategy comparison (Section III-D)."""
+
+import pytest
+
+from repro.core.concurrent import run_strategy
+from repro.core.strategies import RecoveryStrategy
+from repro.errors import RecoveryError
+from repro.ids.attacks import AttackCampaign
+from repro.workflow.spec import workflow
+
+
+def producer_spec():
+    """Writes the shared 'rate' object (attack target)."""
+    return (
+        workflow("producer")
+        .task("set_rate", reads=["base"], writes=["rate"],
+              compute=lambda d: {"rate": d["base"] * 2})
+        .build()
+    )
+
+
+def consumer_spec(name: str):
+    """Pending normal work that reads the shared 'rate'."""
+    return (
+        workflow(f"consumer_{name}")
+        .task("use", reads=["rate"], writes=[f"bill_{name}"],
+              compute=lambda d: {f"bill_{name}": d["rate"] + 1})
+        .build()
+    )
+
+
+def incident(strategy):
+    campaign = AttackCampaign().corrupt_task("set_rate", rate=9999)
+    return run_strategy(
+        strategy,
+        attacked_specs=[producer_spec()],
+        pending_specs=[consumer_spec("a"), consumer_spec("b")],
+        initial_data={"base": 5, "rate": 0, "bill_a": 0, "bill_b": 0},
+        campaign=campaign,
+    )
+
+
+class TestStrict:
+    def test_delays_but_never_repairs(self):
+        out = incident(RecoveryStrategy.STRICT)
+        assert out.delayed_tasks == 2
+        assert out.repaired_tasks == 0
+        assert out.audit.ok, out.audit.problems
+        assert out.final_snapshot["bill_a"] == 11  # 5*2 + 1
+
+
+class TestRiskNormalOnly:
+    def test_no_delay_but_repairs(self):
+        out = incident(RecoveryStrategy.RISK_NORMAL_ONLY)
+        assert out.delayed_tasks == 0
+        assert out.repaired_tasks == 2  # both consumers read dirty rate
+        assert out.audit.ok, out.audit.problems
+        assert out.final_snapshot["bill_a"] == 11
+
+    def test_repairs_increase_recovery_work(self):
+        strict = incident(RecoveryStrategy.STRICT)
+        risky = incident(RecoveryStrategy.RISK_NORMAL_ONLY)
+        assert risky.recovery_operations > strict.recovery_operations
+
+    def test_storage_bill_higher(self):
+        strict = incident(RecoveryStrategy.STRICT)
+        risky = incident(RecoveryStrategy.RISK_NORMAL_ONLY)
+        assert risky.storage_versions >= strict.storage_versions
+
+
+class TestConvergence:
+    def test_both_strategies_reach_identical_state(self):
+        """The strategies trade latency vs repair work — never
+        correctness: their final states are identical."""
+        strict = incident(RecoveryStrategy.STRICT)
+        risky = incident(RecoveryStrategy.RISK_NORMAL_ONLY)
+        assert strict.final_snapshot == risky.final_snapshot
+        assert strict.audit.ok and risky.audit.ok
+
+    def test_convergence_on_random_workloads(self):
+        import random
+
+        from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+        for seed in range(4):
+            gen = WorkloadGenerator(
+                WorkloadConfig(n_workflows=2, tasks_per_workflow=6,
+                               branch_probability=0.4),
+                random.Random(seed),
+            )
+            wl = gen.generate()
+            campaign = gen.pick_attacks(wl, n_attacks=2)
+            pending_gen = WorkloadGenerator(
+                WorkloadConfig(n_workflows=1, tasks_per_workflow=4,
+                               branch_probability=0.0,
+                               n_shared_objects=gen.config.n_shared_objects),
+                random.Random(seed + 100),
+            )
+            pending = pending_gen.generate()
+            initial = dict(wl.initial_data)
+            initial.update(pending.initial_data)
+            outcomes = [
+                run_strategy(s, wl.specs, pending.specs, initial,
+                             campaign, seed=seed)
+                for s in (RecoveryStrategy.STRICT,
+                          RecoveryStrategy.RISK_NORMAL_ONLY)
+            ]
+            assert outcomes[0].audit.ok, outcomes[0].audit.problems
+            assert outcomes[1].audit.ok, outcomes[1].audit.problems
+            assert outcomes[0].final_snapshot == outcomes[1].final_snapshot
+
+
+class TestRiskAll:
+    def test_no_operational_executor(self):
+        with pytest.raises(RecoveryError, match="RISK_ALL"):
+            incident(RecoveryStrategy.RISK_ALL)

@@ -1,0 +1,111 @@
+"""Unit tests for the versioned data stores."""
+
+import pytest
+
+from repro.errors import DataStoreError, VersionNotFoundError
+from repro.workflow.data import (
+    TOMBSTONE,
+    DataStore,
+    MultiVersionDataStore,
+    Version,
+)
+
+
+class TestDataStore:
+    def test_initial_values_are_version_zero(self):
+        store = DataStore({"x": 10})
+        assert store.read("x") == 10
+        v = store.latest("x")
+        assert v.number == 0 and v.writer is None
+
+    def test_write_bumps_version(self):
+        store = DataStore({"x": 1})
+        assert store.write("x", 2, writer="t1") == 1
+        assert store.write("x", 3, writer="t2") == 2
+        assert store.read("x") == 3
+        assert store.read_version("x") == (2, 3)
+
+    def test_write_creates_unknown_object_at_version_zero(self):
+        store = DataStore()
+        assert store.write("new", 7, writer="t") == 0
+        assert store.latest("new").writer == "t"
+
+    def test_history_is_ordered(self):
+        store = DataStore({"x": 0})
+        store.write("x", 1)
+        store.write("x", 2)
+        assert [v.value for v in store.history("x")] == [0, 1, 2]
+
+    def test_read_unknown_object_raises(self):
+        with pytest.raises(DataStoreError):
+            DataStore().read("ghost")
+
+    def test_version_lookup(self):
+        store = DataStore({"x": 0})
+        store.write("x", 5, writer="w")
+        assert store.version("x", 1).value == 5
+        with pytest.raises(VersionNotFoundError):
+            store.version("x", 9)
+
+    def test_restore_writes_new_version(self):
+        store = DataStore({"x": 10})
+        store.write("x", 99, writer="bad")
+        new_ver = store.restore("x", 0, writer="undo")
+        assert new_ver == 2
+        assert store.read("x") == 10
+        # History preserved — recovery never rewrites it.
+        assert [v.value for v in store.history("x")] == [10, 99, 10]
+
+    def test_last_version_before(self):
+        store = DataStore({"x": 10})
+        store.write("x", 20)
+        store.write("x", 30)
+        assert store.last_version_before("x", 2).value == 20
+        assert store.last_version_before("x", 1).value == 10
+        with pytest.raises(VersionNotFoundError):
+            store.last_version_before("x", 0)
+
+    def test_snapshot(self):
+        store = DataStore({"x": 1, "y": 2})
+        store.write("x", 3)
+        assert store.snapshot() == {"x": 3, "y": 2}
+
+    def test_names_and_contains(self):
+        store = DataStore({"x": 1})
+        assert "x" in store and "y" not in store
+        assert list(store.names()) == ["x"]
+
+
+class TestMultiVersionDataStore:
+    def test_pinned_read_survives_later_writes(self):
+        store = MultiVersionDataStore({"x": 1})
+        store.pin("reader", "x")
+        store.write("x", 2)
+        assert store.read("x") == 2
+        assert store.read_pinned("reader", "x") == 1
+
+    def test_unpinned_reader_sees_latest(self):
+        store = MultiVersionDataStore({"x": 1})
+        store.write("x", 2)
+        assert store.read_pinned("other", "x") == 2
+
+    def test_release_drops_pins(self):
+        store = MultiVersionDataStore({"x": 1})
+        store.pin("r", "x")
+        store.write("x", 2)
+        store.release("r")
+        assert store.read_pinned("r", "x") == 2
+
+    def test_storage_cost_counts_versions(self):
+        store = MultiVersionDataStore({"x": 1, "y": 1})
+        store.write("x", 2)
+        store.write("x", 3)
+        assert store.storage_cost() == 4  # x: 3 versions, y: 1
+
+
+class TestTombstone:
+    def test_singleton(self):
+        from repro.workflow.data import _Tombstone
+
+        assert _Tombstone() is TOMBSTONE
+        assert repr(TOMBSTONE) == "<TOMBSTONE>"

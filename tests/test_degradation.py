@@ -1,0 +1,98 @@
+"""Tests for the rate-degradation families f and g."""
+
+import pytest
+
+from repro.markov.degradation import (
+    RateFunction,
+    constant,
+    fig4_cases,
+    geometric,
+    inverse_k,
+    linear_decay,
+    power_law,
+)
+
+
+class TestFamilies:
+    def test_constant(self):
+        f = constant(15.0)
+        assert f(1) == f(10) == 15.0
+
+    def test_inverse_k(self):
+        f = inverse_k(15.0)
+        assert f(1) == 15.0
+        assert f(3) == 5.0
+
+    def test_power_law(self):
+        f = power_law(16.0, 0.5)
+        assert f(1) == 16.0
+        assert f(4) == pytest.approx(8.0)
+
+    def test_power_law_zero_alpha_is_constant(self):
+        f = power_law(10.0, 0.0)
+        assert f(7) == 10.0
+
+    def test_geometric(self):
+        f = geometric(8.0, 0.5)
+        assert f(1) == 8.0
+        assert f(4) == 1.0
+
+    def test_geometric_ratio_validated(self):
+        with pytest.raises(ValueError):
+            geometric(1.0, 1.5)
+        with pytest.raises(ValueError):
+            geometric(1.0, 0.0)
+
+    def test_linear_decay_floors(self):
+        f = linear_decay(10.0, 3.0, floor=0.5)
+        assert f(1) == 10.0
+        assert f(2) == 7.0
+        assert f(100) == 0.5
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            inverse_k(1.0)(0)
+
+    def test_negative_rate_rejected(self):
+        bad = RateFunction("bad", 1.0, lambda b, k: b - k)
+        with pytest.raises(ValueError, match="negative"):
+            bad(5)
+
+    def test_rebased_keeps_shape(self):
+        f = inverse_k(10.0).rebased(20.0)
+        assert f(2) == 10.0
+        assert f.name == "1/k"
+
+    @pytest.mark.parametrize("factory", [
+        lambda: constant(9.0),
+        lambda: inverse_k(9.0),
+        lambda: power_law(9.0, 0.3),
+        lambda: geometric(9.0, 0.8),
+        lambda: linear_decay(9.0, 0.5),
+    ])
+    def test_non_increasing(self, factory):
+        f = factory()
+        values = [f(k) for k in range(1, 30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestFig4Cases:
+    def test_four_panels(self):
+        cases = fig4_cases(15.0, 20.0)
+        assert set(cases) == {"a", "b", "c", "d"}
+
+    def test_panel_shapes(self):
+        cases = fig4_cases(15.0, 20.0)
+        f_a, g_a = cases["a"]
+        assert f_a(30) > 15.0 / 2      # very slow degradation
+        f_b, g_b = cases["b"]
+        assert f_b(3) == 5.0 and g_b(4) == 5.0
+        f_c, g_c = cases["c"]
+        assert f_c(10) == 15.0 and g_c(10) == 2.0   # only ξ degrades
+        f_d, g_d = cases["d"]
+        assert f_d(10) == 1.5 and g_d(10) == 20.0   # only μ degrades
+
+    def test_base_rates_respected(self):
+        for f, g in fig4_cases(7.0, 9.0).values():
+            assert f(1) == 7.0
+            assert g(1) == 9.0

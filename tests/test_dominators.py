@@ -1,0 +1,81 @@
+"""Unit tests for dominator analysis and unavoidable nodes."""
+
+from repro.workflow.dominators import branch_nodes, dominators, unavoidable_nodes
+from repro.workflow.spec import workflow
+
+
+def figure1_wf1():
+    """Graph shape of the paper's workflow 1 (bodies irrelevant here)."""
+    return (
+        workflow("wf1")
+        .task("t1").task("t2", choose=lambda d: "t3")
+        .task("t3").task("t4").task("t5").task("t6")
+        .edge("t1", "t2").edge("t2", "t3").edge("t3", "t4")
+        .edge("t4", "t6").edge("t2", "t5").edge("t5", "t6")
+        .build()
+    )
+
+
+class TestDominators:
+    def test_linear_chain_everything_dominates_downstream(self):
+        spec = (workflow("w").task("a").task("b").task("c")
+                .chain("a", "b", "c").build())
+        dom = dominators(spec)
+        assert dom["c"] == frozenset({"a", "b", "c"})
+        assert dom["a"] == frozenset({"a"})
+
+    def test_diamond_arms_not_dominators_of_join(self, diamond_spec):
+        dom = dominators(diamond_spec)
+        assert dom["e"] == frozenset({"a", "b", "e"})
+        assert dom["c"] == frozenset({"a", "b", "c"})
+
+    def test_figure1_branch_dominates_arms(self):
+        dom = dominators(figure1_wf1())
+        for node in ("t3", "t4", "t5"):
+            assert "t2" in dom[node]
+        assert dom["t6"] >= frozenset({"t1", "t2", "t6"})
+        assert "t3" not in dom["t6"]
+
+    def test_cyclic_graph_converges(self):
+        spec = (
+            workflow("loop")
+            .task("s")
+            .task("b", choose=lambda d: "b")
+            .task("e")
+            .edge("s", "b").edge("b", "b").edge("b", "e")
+            .build()
+        )
+        dom = dominators(spec)
+        assert dom["e"] == frozenset({"s", "b", "e"})
+
+
+class TestUnavoidable:
+    def test_linear_chain_all_unavoidable(self):
+        spec = (workflow("w").task("a").task("b").task("c")
+                .chain("a", "b", "c").build())
+        assert unavoidable_nodes(spec) == frozenset({"a", "b", "c"})
+
+    def test_diamond_arms_avoidable(self, diamond_spec):
+        assert unavoidable_nodes(diamond_spec) == frozenset({"a", "b", "e"})
+
+    def test_figure1_wf1(self):
+        ua = unavoidable_nodes(figure1_wf1())
+        assert ua == frozenset({"t1", "t2", "t6"})
+
+    def test_multiple_end_nodes(self):
+        spec = (
+            workflow("w")
+            .task("a", choose=lambda d: "b")
+            .task("b").task("c")
+            .edge("a", "b").edge("a", "c")
+            .build()
+        )
+        # Neither end is on all paths; only the start is unavoidable.
+        assert unavoidable_nodes(spec) == frozenset({"a"})
+
+
+class TestBranchNodes:
+    def test_matches_spec_property(self, diamond_spec):
+        assert branch_nodes(diamond_spec) == diamond_spec.branch_nodes == (
+            frozenset({"b"})
+        )

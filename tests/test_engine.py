@@ -1,0 +1,184 @@
+"""Unit tests for the workflow execution engine."""
+
+import random
+
+import pytest
+
+from repro.errors import BranchDecisionError, ExecutionError
+from repro.ids.attacks import AttackCampaign
+from repro.workflow.data import DataStore
+from repro.workflow.engine import Engine, WorkflowRun
+from repro.workflow.log import SystemLog
+from repro.workflow.spec import workflow
+
+
+def simple_spec():
+    return (
+        workflow("simple")
+        .task("a", reads=["x"], writes=["y"],
+              compute=lambda d: {"y": d["x"] + 1})
+        .task("b", reads=["y"], writes=["z"],
+              compute=lambda d: {"z": d["y"] * 2})
+        .chain("a", "b")
+        .build()
+    )
+
+
+class TestWorkflowRun:
+    def test_step_by_step(self):
+        store, log = DataStore({"x": 1}), SystemLog()
+        run = WorkflowRun(simple_spec(), "r")
+        assert run.current_task == "a" and not run.done
+        rec = run.step(store, log)
+        assert rec.uid == "r/a#1"
+        assert rec.reads == {"x": 0}
+        assert store.read("y") == 2
+        run.step(store, log)
+        assert run.done and run.current_task is None
+        assert store.read("z") == 4
+
+    def test_step_after_done_raises(self):
+        store, log = DataStore({"x": 1}), SystemLog()
+        run = WorkflowRun(simple_spec(), "r")
+        run.step(store, log)
+        run.step(store, log)
+        with pytest.raises(ExecutionError, match="complete"):
+            run.step(store, log)
+
+    def test_result_summarizes_path(self):
+        store, log = DataStore({"x": 1}), SystemLog()
+        run = WorkflowRun(simple_spec(), "r")
+        run.step(store, log)
+        partial = run.result()
+        assert partial.path == ("a",) and not partial.completed
+        run.step(store, log)
+        done = run.result()
+        assert done.path == ("a", "b") and done.completed
+
+    def test_branch_follows_choose(self, diamond_spec):
+        # x=1 → ya=2 → yb=6 (even) → c
+        store, log = DataStore({"x": 1, "yd": 0, "yc": 0}), SystemLog()
+        run = WorkflowRun(diamond_spec, "r")
+        while not run.done:
+            run.step(store, log)
+        assert run.result().path == ("a", "b", "c", "e")
+        # x=2 → ya=3 → yb=9 (odd) → d
+        store2, log2 = DataStore({"x": 2, "yd": 0, "yc": 0}), SystemLog()
+        run2 = WorkflowRun(diamond_spec, "r2")
+        while not run2.done:
+            run2.step(store2, log2)
+        assert run2.result().path == ("a", "b", "d", "e")
+
+    def test_branch_record_carries_chosen(self, diamond_spec):
+        store, log = DataStore({"x": 1, "yd": 0, "yc": 0}), SystemLog()
+        run = WorkflowRun(diamond_spec, "r")
+        run.step(store, log)
+        rec = run.step(store, log)  # b
+        assert rec.chosen == "c"
+
+    def test_bad_branch_decision_raises(self):
+        spec = (
+            workflow("bad")
+            .task("a", choose=lambda d: "ghost")
+            .task("b").task("c")
+            .edge("a", "b").edge("a", "c")
+            .build()
+        )
+        run = WorkflowRun(spec, "r")
+        with pytest.raises(BranchDecisionError):
+            run.step(DataStore(), SystemLog())
+
+    def test_max_steps_guards_nontermination(self):
+        spec = (
+            workflow("loop")
+            .task("s")
+            .task("b", choose=lambda d: "b")  # never exits
+            .task("e")
+            .edge("s", "b").edge("b", "b").edge("b", "e")
+            .build()
+        )
+        run = WorkflowRun(spec, "r", max_steps=25)
+        store, log = DataStore(), SystemLog()
+        with pytest.raises(ExecutionError, match="max_steps"):
+            while not run.done:
+                run.step(store, log)
+
+    def test_loop_instances_numbered(self):
+        spec = (
+            workflow("loop")
+            .task("s", reads=[], writes=["n"], compute=lambda d: {"n": 2})
+            .task("b", reads=["n"], writes=["n"],
+                  compute=lambda d: {"n": d["n"] - 1},
+                  choose=lambda d: "b" if d["n"] > 0 else "e")
+            .task("e")
+            .edge("s", "b").edge("b", "b").edge("b", "e")
+            .build()
+        )
+        store, log = DataStore({"n": 0}), SystemLog()
+        run = WorkflowRun(spec, "r")
+        while not run.done:
+            run.step(store, log)
+        assert [str(i) for i in run.instances] == ["s", "b", "b^2", "e"]
+
+    def test_failing_compute_wrapped(self):
+        spec = (
+            workflow("boom")
+            .task("a", reads=[], writes=["x"], compute=lambda d: {})
+            .build()
+        )
+        run = WorkflowRun(spec, "r")
+        with pytest.raises(ExecutionError, match="did not produce"):
+            run.step(DataStore(), SystemLog())
+
+
+class TestEngine:
+    def test_new_run_autonames(self, fresh_system):
+        store, log, engine = fresh_system
+        r0 = engine.new_run(simple_spec())
+        r1 = engine.new_run(simple_spec())
+        assert r0.workflow_instance == "wf0"
+        assert r1.workflow_instance == "wf1"
+        assert set(engine.specs_by_instance) == {"wf0", "wf1"}
+
+    def test_round_robin_interleaves(self):
+        store, log = DataStore({"x": 1}), SystemLog()
+        engine = Engine(store, log)
+        runs = [engine.new_run(simple_spec(), n) for n in ("p", "q")]
+        engine.interleave(runs, policy="round_robin")
+        assert [r.uid for r in log.normal_records()] == [
+            "p/a#1", "q/a#1", "p/b#1", "q/b#1"
+        ]
+
+    def test_sequential_completes_in_order(self):
+        store, log = DataStore({"x": 1}), SystemLog()
+        engine = Engine(store, log)
+        runs = [engine.new_run(simple_spec(), n) for n in ("p", "q")]
+        engine.interleave(runs, policy="sequential")
+        assert [r.uid for r in log.normal_records()] == [
+            "p/a#1", "p/b#1", "q/a#1", "q/b#1"
+        ]
+
+    def test_random_policy_deterministic_per_seed(self):
+        def run_with(seed):
+            store, log = DataStore({"x": 1}), SystemLog()
+            engine = Engine(store, log, rng=random.Random(seed))
+            runs = [engine.new_run(simple_spec(), n) for n in ("p", "q")]
+            engine.interleave(runs, policy="random")
+            return [r.uid for r in log.normal_records()]
+
+        assert run_with(7) == run_with(7)
+
+    def test_unknown_policy_rejected(self, fresh_system):
+        store, log, engine = fresh_system
+        with pytest.raises(ExecutionError, match="unknown interleave"):
+            engine.interleave([], policy="zigzag")
+
+    def test_tamper_hook_applied(self):
+        store, log = DataStore({"x": 1}), SystemLog()
+        engine = Engine(store, log)
+        run = engine.new_run(simple_spec(), "r")
+        campaign = AttackCampaign().corrupt_task("a", y=666)
+        engine.run_to_completion(run, tamper=campaign)
+        assert store.version("y", 0).value == 666  # y created by the task
+        assert store.read("z") == 1332
+        assert campaign.malicious_uids == ("r/a#1",)

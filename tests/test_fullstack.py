@@ -1,0 +1,87 @@
+"""Tests for the full-stack timed simulation (real heals under load)."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.markov.stg import StateCategory
+from repro.sim.fullstack import FullStackConfig, FullStackSimulator
+
+
+def run(lam, horizon=60.0, seed=1, **overrides):
+    defaults = dict(arrival_rate=lam, scan_time=1 / 15,
+                    unit_recovery_time=1 / 20, alert_buffer=6,
+                    recovery_buffer=6)
+    defaults.update(overrides)
+    cfg = FullStackConfig(**defaults)
+    return FullStackSimulator(cfg, random.Random(seed)).run(horizon)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FullStackConfig(arrival_rate=-1)
+        with pytest.raises(ValueError):
+            FullStackConfig(scan_time=0)
+        with pytest.raises(ValueError):
+            FullStackConfig(alert_buffer=0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(SimulationError):
+            FullStackSimulator().run(0.0)
+
+
+class TestEmergentBehaviour:
+    def test_light_load_mostly_normal(self):
+        result = run(lam=0.5)
+        assert result.category_occupancy[StateCategory.NORMAL] > 0.8
+        assert result.alerts_lost == 0
+        assert result.heals > 5
+
+    def test_overload_collapses_to_scan_and_loses(self):
+        result = run(lam=8.0)
+        assert result.category_occupancy[StateCategory.SCAN] > 0.9
+        assert result.alerts_lost > 0
+        assert result.loss_fraction > 0.2
+
+    def test_occupancy_orders_with_load(self):
+        light = run(lam=0.5)
+        heavy = run(lam=4.0)
+        assert (
+            light.category_occupancy[StateCategory.NORMAL]
+            > heavy.category_occupancy[StateCategory.NORMAL]
+        )
+        assert light.loss_fraction <= heavy.loss_fraction
+
+    def test_occupancy_is_distribution(self):
+        result = run(lam=1.0)
+        assert sum(result.category_occupancy.values()) == pytest.approx(
+            1.0
+        )
+
+
+class TestCorrectnessUnderLoad:
+    """The capstone property: whatever the load, every committed heal —
+    including the final sweep over lost alerts — leaves the system
+    strictly correct, and every injected attack is eventually repaired."""
+
+    @pytest.mark.parametrize("lam", [0.5, 2.0, 8.0])
+    def test_all_heals_audited(self, lam):
+        result = run(lam=lam)
+        assert result.all_heals_audited_ok
+        # Every attack instance was undone somewhere along the way.
+        assert result.repaired_instances >= result.attacks
+
+    def test_quiet_system_no_attacks(self):
+        result = run(lam=0.0, horizon=10.0)
+        assert result.attacks == 0
+        assert result.category_occupancy[StateCategory.NORMAL] == (
+            pytest.approx(1.0)
+        )
+
+    def test_deterministic_per_seed(self):
+        a = run(lam=2.0, seed=9)
+        b = run(lam=2.0, seed=9)
+        assert a.attacks == b.attacks
+        assert a.category_occupancy == b.category_occupancy

@@ -1,0 +1,155 @@
+"""Tests for Theorem 3 / Theorem 4 partial orders over recovery actions."""
+
+import pytest
+
+from repro.core.actions import Action
+from repro.core.partial_orders import (
+    normal_task_constraints,
+    recovery_partial_order,
+)
+from repro.workflow.dependency import DependencyAnalyzer
+from repro.workflow.log import SystemLog
+from repro.workflow.task import TaskInstance
+
+
+def commit(log, wf, task, reads=None, writes=None):
+    return log.commit(
+        TaskInstance(wf, task, 1), reads=reads or {}, writes=writes or {}
+    )
+
+
+@pytest.fixture
+def conflict_log():
+    """t1 reads a, writes x; t2 reads x, writes a (anti both ways);
+    t3 rewrites x (output dep on t1)."""
+    log = SystemLog()
+    commit(log, "w", "t1", reads={"a": 0}, writes={"x": 1})
+    commit(log, "w", "t2", reads={"x": 1}, writes={"a": 1})
+    commit(log, "w", "t3", writes={"x": 2})
+    return log
+
+
+class TestTheorem3:
+    def test_rule1_redos_follow_log_order(self, conflict_log):
+        dep = DependencyAnalyzer(conflict_log)
+        undos = ["w/t1#1", "w/t2#1"]
+        order = recovery_partial_order(dep, undos, undos)
+        assert order.precedes(Action.redo("w/t1#1"), Action.redo("w/t2#1"))
+        assert not order.precedes(
+            Action.redo("w/t2#1"), Action.redo("w/t1#1")
+        )
+
+    def test_rule3_undo_before_redo(self, conflict_log):
+        dep = DependencyAnalyzer(conflict_log)
+        order = recovery_partial_order(dep, ["w/t1#1"], ["w/t1#1"])
+        assert order.precedes(Action.undo("w/t1#1"), Action.redo("w/t1#1"))
+
+    def test_rule4_anti_dependence(self, conflict_log):
+        """t1 →a t2 (t2 rewrites a which t1 read) ⇒ undo(t2) ≺ redo(t1)."""
+        dep = DependencyAnalyzer(conflict_log)
+        order = recovery_partial_order(
+            dep, ["w/t1#1", "w/t2#1"], ["w/t1#1", "w/t2#1"]
+        )
+        assert order.precedes(Action.undo("w/t2#1"), Action.redo("w/t1#1"))
+
+    def test_rule5_output_dependence(self, conflict_log):
+        """t1 →o t3 (t3 rewrites x) ⇒ undo(t3) ≺ undo(t1)."""
+        dep = DependencyAnalyzer(conflict_log)
+        order = recovery_partial_order(
+            dep, ["w/t1#1", "w/t3#1"], []
+        )
+        assert order.precedes(Action.undo("w/t3#1"), Action.undo("w/t1#1"))
+
+    def test_order_is_acyclic(self, conflict_log):
+        dep = DependencyAnalyzer(conflict_log)
+        all_uids = ["w/t1#1", "w/t2#1", "w/t3#1"]
+        order = recovery_partial_order(dep, all_uids, all_uids)
+        order.check_acyclic()  # must not raise
+
+    def test_elements_match_inputs(self, conflict_log):
+        dep = DependencyAnalyzer(conflict_log)
+        order = recovery_partial_order(dep, ["w/t1#1"], [])
+        assert order.elements() == frozenset({Action.undo("w/t1#1")})
+
+    def test_figure1_order_schedulable(self, figure1):
+        dep = DependencyAnalyzer(figure1.log, figure1.specs_by_instance)
+        from repro.core.undo_redo import find_redo_tasks, find_undo_tasks
+
+        undo = find_undo_tasks(dep, [figure1.malicious_uid])
+        redo = find_redo_tasks(dep, undo.definite)
+        order = recovery_partial_order(dep, undo.definite, redo.definite)
+        schedule = order.topological_order()
+        # Every undo precedes its redo in the schedule.
+        for uid in undo.definite & redo.definite:
+            assert schedule.index(Action.undo(uid)) < schedule.index(
+                Action.redo(uid)
+            )
+
+
+class TestTheorem4:
+    def test_normal_reader_waits_for_redo(self, conflict_log):
+        dep = DependencyAnalyzer(conflict_log)
+        order = normal_task_constraints(
+            dep,
+            undo_set=["w/t1#1"],
+            redo_set=["w/t1#1"],
+            normal_tasks={
+                "w/new#1": (frozenset({"x"}), frozenset())
+            },
+        )
+        normal = Action.normal("w/new#1")
+        assert order.precedes(Action.undo("w/t1#1"), normal)
+        assert order.precedes(Action.redo("w/t1#1"), normal)
+
+    def test_normal_writer_waits_for_recovery_reader(self, conflict_log):
+        """A normal task writing ``a`` must wait for redo(t1), which
+        reads ``a`` (anti conflict)."""
+        dep = DependencyAnalyzer(conflict_log)
+        order = normal_task_constraints(
+            dep,
+            undo_set=["w/t1#1"],
+            redo_set=["w/t1#1"],
+            normal_tasks={
+                "w/writer#1": (frozenset(), frozenset({"a"}))
+            },
+        )
+        assert order.precedes(
+            Action.redo("w/t1#1"), Action.normal("w/writer#1")
+        )
+
+    def test_unrelated_normal_task_unconstrained(self, conflict_log):
+        dep = DependencyAnalyzer(conflict_log)
+        order = normal_task_constraints(
+            dep,
+            undo_set=["w/t1#1"],
+            redo_set=["w/t1#1"],
+            normal_tasks={
+                "w/free#1": (frozenset({"zz"}), frozenset({"qq"}))
+            },
+        )
+        free = Action.normal("w/free#1")
+        assert not order.direct_predecessors(free)
+
+    def test_output_conflict_constrains(self, conflict_log):
+        dep = DependencyAnalyzer(conflict_log)
+        order = normal_task_constraints(
+            dep,
+            undo_set=["w/t1#1"],
+            redo_set=[],
+            normal_tasks={
+                "w/ow#1": (frozenset(), frozenset({"x"}))
+            },
+        )
+        assert order.precedes(Action.undo("w/t1#1"), Action.normal("w/ow#1"))
+
+
+class TestActions:
+    def test_action_str(self):
+        assert str(Action.undo("w/t1#1")) == "undo(w/t1#1)"
+        assert str(Action.redo("w/t1#1")) == "redo(w/t1#1)"
+        assert str(Action.normal("w/t1#1")) == "w/t1#1"
+
+    def test_action_hashable_ordered(self):
+        a, b = Action.undo("u"), Action.redo("u")
+        assert len({a, b, Action.undo("u")}) == 2
+        assert sorted([b, a])  # sortable without error

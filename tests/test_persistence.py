@@ -1,0 +1,173 @@
+"""Tests for system snapshots: dump an attacked system, heal the copy."""
+
+import json
+
+import pytest
+
+from repro.core.axioms import audit_strict_correctness
+from repro.core.healer import Healer
+from repro.ids.attacks import AttackCampaign
+from repro.persistence import (
+    PersistenceError,
+    dump_system,
+    load_system,
+)
+from repro.workflow.data import DataStore
+from repro.workflow.engine import Engine
+from repro.workflow.log import SystemLog
+from repro.workflow.serialize import TaskDocument, WorkflowDocument
+
+
+def order_doc():
+    return WorkflowDocument(
+        workflow_id="order",
+        tasks=(
+            TaskDocument("price", writes={"total": "qty * unit"}),
+            TaskDocument(
+                "check",
+                writes={"eligible": "total >= 100"},
+                choose=(("apply", "eligible"), ("skip", "true")),
+            ),
+            TaskDocument("apply",
+                         writes={"payable": "total - total // 10"}),
+            TaskDocument("skip", writes={"payable": "total"}),
+        ),
+        edges=(("price", "check"), ("check", "apply"),
+               ("check", "skip")),
+    )
+
+
+@pytest.fixture
+def attacked_system():
+    doc = order_doc()
+    spec = doc.build()
+    initial = {"qty": 2, "unit": 20, "total": 0, "eligible": 0,
+               "payable": 0}
+    store, log = DataStore(initial), SystemLog()
+    engine = Engine(store, log)
+    campaign = AttackCampaign().corrupt_task("price", total=900)
+    engine.run_to_completion(engine.new_run(spec, "order.1"),
+                             tamper=campaign)
+    return dict(
+        doc=doc, store=store, log=log, initial=initial,
+        malicious=campaign.malicious_uids,
+        specs=engine.specs_by_instance,
+    )
+
+
+def dump(attacked):
+    return dump_system(
+        attacked["store"], attacked["log"],
+        documents={"order": attacked["doc"]},
+        instance_documents={"order.1": "order"},
+        initial_data=attacked["initial"],
+        indent=2,
+    )
+
+
+class TestRoundTrip:
+    def test_snapshot_is_json(self, attacked_system):
+        payload = json.loads(dump(attacked_system))
+        assert payload["format"] == "repro-system-snapshot"
+        assert payload["instances"] == {"order.1": "order"}
+
+    def test_store_history_preserved(self, attacked_system):
+        snap = load_system(dump(attacked_system))
+        original = attacked_system["store"]
+        for name in original.names():
+            assert [
+                (v.number, v.value, v.writer)
+                for v in snap.store.history(name)
+            ] == [
+                (v.number, v.value, v.writer)
+                for v in original.history(name)
+            ]
+
+    def test_log_preserved(self, attacked_system):
+        snap = load_system(dump(attacked_system))
+        original = attacked_system["log"]
+        assert [r.uid for r in snap.log.records()] == [
+            r.uid for r in original.records()
+        ]
+        assert [r.chosen for r in snap.log.records()] == [
+            r.chosen for r in original.records()
+        ]
+
+    def test_healing_the_copy_matches_healing_the_original(
+        self, attacked_system
+    ):
+        """The forensics workflow: heal the reloaded snapshot on
+        another 'host'; outcome identical to healing in place."""
+        snapshot_text = dump(attacked_system)
+
+        # Heal the original.
+        healer = Healer(attacked_system["store"], attacked_system["log"],
+                        attacked_system["specs"])
+        original_report = healer.heal(attacked_system["malicious"])
+
+        # Heal the reconstruction.
+        snap = load_system(snapshot_text)
+        copy_healer = Healer(snap.store, snap.log,
+                             snap.specs_by_instance)
+        copy_report = copy_healer.heal(attacked_system["malicious"])
+
+        assert set(copy_report.undone) == set(original_report.undone)
+        assert set(copy_report.redone) == set(original_report.redone)
+        assert copy_report.new_executions == (
+            original_report.new_executions
+        )
+        assert snap.store.snapshot() == attacked_system[
+            "store"
+        ].snapshot()
+        audit = audit_strict_correctness(
+            snap.specs_by_instance, snap.initial_data,
+            copy_report.final_history, snap.store.snapshot(),
+        )
+        assert audit.ok, audit.problems
+
+
+class TestValidation:
+    def test_unknown_document_reference_rejected_on_dump(
+        self, attacked_system
+    ):
+        with pytest.raises(PersistenceError, match="unknown document"):
+            dump_system(
+                attacked_system["store"], attacked_system["log"],
+                documents={},
+                instance_documents={"order.1": "ghost"},
+                initial_data=attacked_system["initial"],
+            )
+
+    def test_non_json_value_rejected(self, attacked_system):
+        attacked_system["store"].write("total", object(), writer="x")
+        with pytest.raises(PersistenceError, match="non-JSON-safe"):
+            dump(attacked_system)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(PersistenceError, match="invalid snapshot"):
+            load_system("{nope")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(PersistenceError, match="not a system"):
+            load_system(json.dumps({"format": "other"}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(PersistenceError, match="version"):
+            load_system(json.dumps(
+                {"format": "repro-system-snapshot", "version": 99}
+            ))
+
+    def test_version_gap_rejected(self, attacked_system):
+        payload = json.loads(dump(attacked_system))
+        payload["store"]["total"] = [
+            {"number": 0, "value": 0, "writer": None},
+            {"number": 2, "value": 5, "writer": "x"},
+        ]
+        with pytest.raises(PersistenceError, match="gap"):
+            load_system(json.dumps(payload))
+
+    def test_unknown_instance_document_on_load(self, attacked_system):
+        payload = json.loads(dump(attacked_system))
+        payload["instances"]["order.1"] = "ghost"
+        with pytest.raises(PersistenceError, match="unknown document"):
+            load_system(json.dumps(payload))

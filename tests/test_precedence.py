@@ -1,0 +1,118 @@
+"""Unit tests for the partial order and ``minimal(S, ≺)``."""
+
+import random
+
+import pytest
+
+from repro.errors import CyclicOrderError
+from repro.workflow.precedence import PartialOrder, minimal
+
+
+def chain_order(*elems):
+    po = PartialOrder()
+    for a, b in zip(elems, elems[1:]):
+        po.add_edge(a, b)
+    return po
+
+
+class TestPartialOrder:
+    def test_add_and_query_edges(self):
+        po = chain_order("a", "b", "c")
+        assert po.precedes("a", "b")
+        assert po.precedes("a", "c")  # transitive
+        assert not po.precedes("c", "a")
+        assert po.direct_successors("a") == frozenset({"b"})
+        assert po.direct_predecessors("c") == frozenset({"b"})
+
+    def test_reflexive_edge_rejected(self):
+        with pytest.raises(CyclicOrderError):
+            PartialOrder().add_edge("a", "a")
+
+    def test_unknown_elements_not_comparable(self):
+        po = chain_order("a", "b")
+        assert not po.precedes("a", "zz")
+        assert not po.comparable("zz", "qq")
+
+    def test_comparable(self):
+        po = chain_order("a", "b")
+        po.add_element("isolated")
+        assert po.comparable("a", "b")
+        assert not po.comparable("a", "isolated")
+
+    def test_minimal_elements(self):
+        po = PartialOrder()
+        po.add_edge("a", "c")
+        po.add_edge("b", "c")
+        assert po.minimal_elements() == frozenset({"a", "b"})
+        assert po.minimal_elements({"b", "c"}) == frozenset({"b"})
+
+    def test_minimal_elements_ignore_outside_predecessors(self):
+        po = chain_order("a", "b", "c")
+        # Within {b, c}, b is minimal even though a ≺ b globally.
+        assert po.minimal_elements({"b", "c"}) == frozenset({"b"})
+
+    def test_topological_order_is_linear_extension(self):
+        po = PartialOrder()
+        edges = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+        for s, t in edges:
+            po.add_edge(s, t)
+        order = po.topological_order()
+        for s, t in edges:
+            assert order.index(s) < order.index(t)
+
+    def test_topological_order_deterministic_without_rng(self):
+        po = PartialOrder()
+        po.add_edge("a", "z")
+        po.add_edge("b", "z")
+        assert po.topological_order() == po.topological_order()
+
+    def test_topological_order_random_tiebreak(self):
+        po = PartialOrder(elements=[f"e{i}" for i in range(8)])
+        seen = {
+            tuple(po.topological_order(tiebreak=random.Random(seed)))
+            for seed in range(20)
+        }
+        assert len(seen) > 1  # ties actually randomized
+
+    def test_cycle_detected(self):
+        po = PartialOrder()
+        po.add_edge("a", "b")
+        po.add_edge("b", "c")
+        po.add_edge("c", "a")
+        with pytest.raises(CyclicOrderError):
+            po.check_acyclic()
+
+    def test_len_iter_edges(self):
+        po = chain_order("a", "b", "c")
+        assert len(po) == 3
+        assert set(po) == {"a", "b", "c"}
+        assert po.edges() == frozenset({("a", "b"), ("b", "c")})
+
+
+class TestMinimal:
+    def test_unique_minimal(self):
+        po = chain_order("a", "b", "c")
+        assert minimal(["b", "c"], po) == "b"
+
+    def test_ties_deterministic_without_rng(self):
+        po = PartialOrder(elements=["x", "y"])
+        assert minimal(["y", "x"], po) == minimal(["x", "y"], po)
+
+    def test_ties_respect_rng(self):
+        po = PartialOrder(elements=[f"e{i}" for i in range(10)])
+        picks = {
+            minimal(list(po.elements()), po, rng=random.Random(s))
+            for s in range(30)
+        }
+        assert len(picks) > 1
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(CyclicOrderError):
+            minimal([], PartialOrder())
+
+    def test_cycle_within_subset_rejected(self):
+        po = PartialOrder()
+        po.add_edge("a", "b")
+        po.add_edge("b", "a")
+        with pytest.raises(CyclicOrderError):
+            minimal(["a", "b"], po)

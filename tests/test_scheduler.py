@@ -1,0 +1,80 @@
+"""Unit tests for the partial-order scheduler."""
+
+import random
+
+import pytest
+
+from repro.errors import CyclicOrderError
+from repro.workflow.precedence import PartialOrder
+from repro.workflow.scheduler import PartialOrderScheduler
+
+
+def diamond_order():
+    po = PartialOrder()
+    po.add_edge("a", "b")
+    po.add_edge("a", "c")
+    po.add_edge("b", "d")
+    po.add_edge("c", "d")
+    return po
+
+
+class TestPartialOrderScheduler:
+    def test_runs_everything_in_a_linear_extension(self):
+        po = diamond_order()
+        executed = []
+        sched = PartialOrderScheduler(po, executed.append)
+        order = sched.run()
+        assert order == executed
+        assert set(order) == {"a", "b", "c", "d"}
+        for before, after in po.edges():
+            assert order.index(before) < order.index(after)
+
+    def test_step_returns_none_when_done(self):
+        po = PartialOrder(elements=["only"])
+        sched = PartialOrderScheduler(po, lambda x: None)
+        assert sched.step() == "only"
+        assert sched.step() is None
+
+    def test_pending_shrinks(self):
+        sched = PartialOrderScheduler(diamond_order(), lambda x: None)
+        assert len(sched.pending) == 4
+        sched.step()
+        assert len(sched.pending) == 3
+
+    def test_cyclic_order_rejected_upfront(self):
+        po = PartialOrder()
+        po.add_edge("a", "b")
+        po.add_edge("b", "a")
+        with pytest.raises(CyclicOrderError):
+            PartialOrderScheduler(po, lambda x: None)
+
+    def test_rng_randomizes_ties(self):
+        po = PartialOrder(elements=[f"e{i}" for i in range(6)])
+        orders = set()
+        for seed in range(15):
+            sched = PartialOrderScheduler(
+                po, lambda x: None, rng=random.Random(seed)
+            )
+            orders.add(tuple(sched.run()))
+        assert len(orders) > 1
+
+    def test_executor_exception_preserves_progress(self):
+        def boom(x):
+            if x == "b":
+                raise RuntimeError("executor failed")
+
+        po = PartialOrder()
+        po.add_edge("a", "b")
+        sched = PartialOrderScheduler(po, boom)
+        assert sched.step() == "a"
+        with pytest.raises(RuntimeError):
+            sched.step()
+        assert sched.executed == ["a"]
+
+    def test_deterministic_without_rng(self):
+        po = diamond_order()
+        runs = [
+            PartialOrderScheduler(po, lambda x: None).run()
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]

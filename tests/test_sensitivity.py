@@ -1,0 +1,84 @@
+"""Tests for parameter sensitivity analysis."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.markov.sensitivity import (
+    Sensitivity,
+    loss_sensitivities,
+    normal_sensitivities,
+)
+
+
+def by_name(sensitivities):
+    return {s.parameter: s for s in sensitivities}
+
+
+class TestLossSensitivities:
+    @pytest.fixture(scope="class")
+    def design_point(self):
+        return by_name(loss_sensitivities(
+            lam=1.0, mu1=15.0, xi1=20.0, buffer_size=10
+        ))
+
+    def test_all_parameters_reported(self, design_point):
+        assert set(design_point) == {"lambda", "mu1", "xi1", "buffer"}
+
+    def test_attack_rate_increases_loss(self, design_point):
+        assert design_point["lambda"].elasticity > 0
+
+    def test_faster_rates_decrease_loss(self, design_point):
+        assert design_point["mu1"].elasticity < 0
+        assert design_point["xi1"].elasticity < 0
+
+    def test_rates_are_high_leverage(self, design_point):
+        """Near the design point, loss reacts strongly (elasticity well
+        above 1 in magnitude) to both base rates — they are where a
+        designer's spending pays off."""
+        assert abs(design_point["mu1"].elasticity) > 1
+        assert abs(design_point["xi1"].elasticity) > 1
+
+    def test_xi_dominates_when_drain_limited(self):
+        """With the scheduler as the binding resource (ξ₁ near the
+        λ-driven transition), its elasticity exceeds μ's."""
+        sens = by_name(loss_sensitivities(
+            lam=1.0, mu1=15.0, xi1=16.0, buffer_size=15
+        ))
+        assert abs(sens["xi1"].elasticity) > abs(sens["mu1"].elasticity)
+
+    def test_buffer_can_hurt_under_degradation(self, design_point):
+        """The Figure 4(b) regime: one more slot *increases* loss when
+        processing degrades as 1/k."""
+        assert design_point["buffer"].elasticity > 0
+
+    def test_metric_at_base_consistent(self, design_point):
+        values = {s.metric_at_base for s in design_point.values()}
+        assert len(values) == 1  # same design point for all entries
+
+
+class TestNormalSensitivities:
+    def test_signs_mirror_loss(self):
+        sens = by_name(normal_sensitivities(
+            lam=1.0, mu1=15.0, xi1=20.0, buffer_size=10
+        ))
+        assert sens["lambda"].elasticity < 0   # more attacks, less NORMAL
+        assert sens["mu1"].elasticity > 0
+        assert sens["xi1"].elasticity > 0
+
+    def test_quiet_system_insensitive(self):
+        """Far from saturation, P(NORMAL) barely moves with parameters."""
+        sens = by_name(normal_sensitivities(
+            lam=0.1, mu1=15.0, xi1=20.0, buffer_size=10
+        ))
+        for name in ("mu1", "xi1"):
+            assert abs(sens[name].elasticity) < 0.1
+
+
+class TestValidation:
+    def test_rel_step_checked(self):
+        with pytest.raises(ModelError):
+            loss_sensitivities(rel_step=0.9)
+
+    def test_dataclass_fields(self):
+        s = Sensitivity("mu1", 15.0, 0.01, -3.0)
+        assert s.parameter == "mu1" and s.elasticity == -3.0

@@ -1,0 +1,156 @@
+"""Tests for workflow documents (serializable specifications)."""
+
+import pytest
+
+from repro.errors import WorkflowSpecError
+from repro.workflow.expr import ExprError
+from repro.workflow.serialize import TaskDocument, WorkflowDocument
+
+
+def order_document():
+    return WorkflowDocument(
+        workflow_id="order",
+        tasks=(
+            TaskDocument("price", writes={"total": "qty * unit"}),
+            TaskDocument(
+                "check",
+                writes={"eligible": "total >= 100"},
+                choose=(("apply", "eligible"), ("skip", "true")),
+            ),
+            TaskDocument("apply",
+                         writes={"payable": "total - total // 10"}),
+            TaskDocument("skip", writes={"payable": "total"}),
+            TaskDocument("invoice", writes={"billed": "payable"}),
+        ),
+        edges=(
+            ("price", "check"), ("check", "apply"), ("check", "skip"),
+            ("apply", "invoice"), ("skip", "invoice"),
+        ),
+    )
+
+
+class TestBuild:
+    def test_builds_valid_spec(self):
+        spec = order_document().build()
+        assert spec.start == "price"
+        assert spec.branch_nodes == frozenset({"check"})
+        assert spec.task("price").reads == frozenset({"qty", "unit"})
+        assert spec.task("price").writes == frozenset({"total"})
+
+    def test_reads_inferred_from_expressions(self):
+        spec = order_document().build()
+        assert spec.task("check").reads == frozenset({"total"})
+        # The choose condition reads 'eligible', but it is the task's
+        # own output — not part of the read set.
+        assert "eligible" not in spec.task("check").reads
+
+    def test_extra_reads_added(self):
+        doc = TaskDocument("t", writes={"x": "1"},
+                           extra_reads=("audit_flag",))
+        assert "audit_flag" in doc.inferred_reads()
+
+    def test_execution_follows_conditions(self):
+        from repro.workflow.data import DataStore
+        from repro.workflow.engine import Engine
+        from repro.workflow.log import SystemLog
+
+        spec = order_document().build()
+        for qty, expected_path, expected_billed in (
+            (30, ["price", "check", "apply", "invoice"], 540),
+            (2, ["price", "check", "skip", "invoice"], 40),
+        ):
+            store = DataStore({"qty": qty, "unit": 20, "total": 0,
+                               "eligible": 0, "payable": 0, "billed": 0})
+            log = SystemLog()
+            engine = Engine(store, log)
+            result = engine.run_to_completion(engine.new_run(spec, "r"))
+            assert list(result.path) == expected_path
+            assert store.read("billed") == expected_billed
+
+    def test_branch_without_true_arm_raises_at_runtime(self):
+        from repro.workflow.data import DataStore
+        from repro.workflow.engine import Engine
+        from repro.workflow.log import SystemLog
+
+        doc = WorkflowDocument(
+            workflow_id="w",
+            tasks=(
+                TaskDocument("a", writes={"x": "0"},
+                             choose=(("b", "x > 0"), ("c", "x < 0"))),
+                TaskDocument("b", writes={"y": "1"}),
+                TaskDocument("c", writes={"y": "2"}),
+            ),
+            edges=(("a", "b"), ("a", "c")),
+        )
+        spec = doc.build()
+        engine = Engine(DataStore({"x": 0, "y": 0}), SystemLog())
+        with pytest.raises(ExprError, match="no choose condition"):
+            engine.run_to_completion(engine.new_run(spec, "r"))
+
+    def test_bad_expression_reported_with_task(self):
+        doc = WorkflowDocument(
+            workflow_id="w",
+            tasks=(TaskDocument("broken", writes={"x": "1 +"}),),
+            edges=(),
+        )
+        with pytest.raises(ExprError, match="broken"):
+            doc.build()
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        doc = order_document()
+        again = WorkflowDocument.from_dict(doc.to_dict())
+        assert again == doc
+
+    def test_json_round_trip(self):
+        doc = order_document()
+        again = WorkflowDocument.from_json(doc.to_json())
+        assert again == doc
+        # And the rebuilt spec still executes identically.
+        assert again.build().execution_paths() == (
+            doc.build().execution_paths()
+        )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(WorkflowSpecError, match="invalid workflow"):
+            WorkflowDocument.from_json("{not json")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(WorkflowSpecError, match="workflow_id"):
+            WorkflowDocument.from_dict({"tasks": [], "edges": []})
+        with pytest.raises(WorkflowSpecError, match="'id'"):
+            TaskDocument.from_dict({"writes": {}})
+
+
+class TestHealingSerializedWorkflows:
+    def test_attack_and_heal_document_built_spec(self):
+        """A serialized workflow behaves identically under recovery."""
+        from repro.core.axioms import audit_strict_correctness
+        from repro.core.healer import Healer
+        from repro.ids.attacks import AttackCampaign
+        from repro.workflow.data import DataStore
+        from repro.workflow.engine import Engine
+        from repro.workflow.log import SystemLog
+
+        spec = WorkflowDocument.from_json(
+            order_document().to_json()
+        ).build()
+        initial = {"qty": 2, "unit": 20, "total": 0, "eligible": 0,
+                   "payable": 0, "billed": 0}
+        store, log = DataStore(initial), SystemLog()
+        engine = Engine(store, log)
+        attack = AttackCampaign().corrupt_task("price", total=1000)
+        engine.run_to_completion(engine.new_run(spec, "r"),
+                                 tamper=attack)
+        assert store.read("billed") == 900  # stolen discount applied
+
+        healer = Healer(store, log, engine.specs_by_instance)
+        report = healer.heal(attack.malicious_uids)
+        assert store.read("billed") == 40
+        assert any(u.endswith("/skip#1") for u in report.new_executions)
+        audit = audit_strict_correctness(
+            engine.specs_by_instance, initial, report.final_history,
+            store.snapshot(),
+        )
+        assert audit.ok, audit.problems

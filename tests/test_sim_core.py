@@ -1,0 +1,97 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+
+class TestEvent:
+    def test_orders_by_time_then_sequence(self):
+        a = Event(time=1.0)
+        b = Event(time=1.0)
+        c = Event(time=0.5)
+        assert c < a < b  # same time → earlier scheduling wins
+
+    def test_cancel(self):
+        e = Event(time=1.0)
+        assert not e.cancelled
+        e.cancel()
+        assert e.cancelled
+
+
+class TestSimulator:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        while sim.step():
+            pass
+        assert fired == ["early", "late"]
+        assert sim.now == 2.0
+        assert sim.events_fired == 2
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for name in ("first", "second", "third"):
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        while sim.step():
+            pass
+        assert fired == ["first", "second", "third"]
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, lambda: fired.append("keep"))
+        drop = sim.schedule(0.5, lambda: fired.append("drop"))
+        drop.cancel()
+        while sim.step():
+            pass
+        assert fired == ["keep"]
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_event_storm_guard(self):
+        sim = Simulator()
+
+        def storm():
+            sim.schedule(0.0, storm)
+
+        sim.schedule(0.0, storm)
+        with pytest.raises(SimulationError, match="exceeded"):
+            sim.run_until(1.0, max_events=1000)

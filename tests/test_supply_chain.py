@@ -1,0 +1,92 @@
+"""Integration tests for the supply-chain compound-attack scenario."""
+
+import pytest
+
+from repro.scenarios.supply_chain import (
+    REORDER_QTY,
+    UNIT_COST,
+    UNIT_PRICE,
+    build_supply_chain,
+)
+
+
+@pytest.fixture(scope="module")
+def healed():
+    sc = build_supply_chain(n_sales=4)
+    sc.heal_now()
+    return sc
+
+
+class TestAttackedState:
+    def test_reorder_wrongly_skipped(self):
+        sc = build_supply_chain()
+        assert sc.store.read("po_note") == 1      # skip path taken
+        assert sc.store.read("payables") == 0
+
+    def test_forged_sale_booked(self):
+        sc = build_supply_chain()
+        assert sc.store.read("invoice_evil") == 30 * UNIT_PRICE
+        assert sc.store.read("stock") == 10
+
+    def test_legit_sales_wrongly_backordered(self):
+        sc = build_supply_chain(n_sales=4)
+        for name in sc.sale_names:
+            assert sc.store.read(f"status_{name}") == 1  # backorder
+
+
+class TestHealedState:
+    def test_reorder_executed_after_heal(self, healed):
+        assert healed.store.read("payables") == REORDER_QTY * UNIT_COST
+        assert any(
+            u.startswith("procurement/reorder#")
+            for u in healed.heal.new_executions
+        )
+
+    def test_forged_sale_fully_removed(self, healed):
+        assert healed.store.read("invoice_evil") == 0
+        assert not any(
+            u.startswith("sale_evil/") for u in healed.heal.redone
+        )
+        evil_abandoned = [
+            u for u in healed.heal.abandoned
+            if u.startswith("sale_evil/")
+        ]
+        assert len(evil_abandoned) == 3  # reserve, fulfil, settle
+
+    def test_legit_sales_fulfilled_after_heal(self, healed):
+        for name in healed.sale_names:
+            assert healed.store.read(f"status_{name}") == 0
+            assert healed.store.read(f"invoice_{name}") == 20 * UNIT_PRICE
+
+    def test_business_figures(self, healed):
+        n = len(healed.sale_names)
+        expected_revenue = n * 20 * UNIT_PRICE
+        expected_stock = 40 + REORDER_QTY - n * 20
+        assert healed.store.read("revenue") == expected_revenue
+        assert healed.store.read("stock") == expected_stock
+        assert healed.store.read("margin") == (
+            expected_revenue - REORDER_QTY * UNIT_COST
+        )
+        assert healed.store.read("stock_on_hand") == expected_stock
+
+    def test_strictly_correct(self, healed):
+        assert healed.audit.ok, healed.audit.problems
+
+    def test_summary_keys(self, healed):
+        assert set(healed.summary()) == {
+            "stock", "revenue", "payables", "margin"
+        }
+
+
+class TestScaling:
+    @pytest.mark.parametrize("n_sales", [1, 3, 7])
+    def test_any_number_of_sales_heals(self, n_sales):
+        sc = build_supply_chain(n_sales=n_sales)
+        sc.heal_now()
+        assert sc.audit.ok, sc.audit.problems
+        fulfilled = sum(
+            1 for name in sc.sale_names
+            if sc.store.read(f"invoice_{name}") > 0
+        )
+        # Post-reorder stock (140) covers up to 7 orders of 20.
+        assert fulfilled == n_sales

@@ -1,0 +1,123 @@
+"""Tests for the SelfHealingSystem architecture glue (Figure 2)."""
+
+import pytest
+
+from repro.core.strategies import RecoveryStrategy
+from repro.errors import RecoveryError
+from repro.scenarios.figure1 import build_figure1
+from repro.system import SelfHealingSystem, SystemState
+
+
+def make_system(**kwargs):
+    sc = build_figure1(attacked=True)
+    system = SelfHealingSystem(
+        sc.store, sc.log, sc.specs_by_instance, **kwargs
+    )
+    return sc, system
+
+
+class TestStates:
+    def test_starts_normal(self):
+        __, system = make_system()
+        assert system.state is SystemState.NORMAL
+        assert system.normal_task_admissible()
+
+    def test_alert_moves_to_scan(self):
+        sc, system = make_system()
+        assert system.submit_alert(sc.malicious_uid)
+        assert system.state is SystemState.SCAN
+        assert not system.normal_task_admissible()
+
+    def test_scan_moves_to_recovery(self):
+        sc, system = make_system()
+        system.submit_alert(sc.malicious_uid)
+        plan = system.scan_step()
+        assert plan is not None and plan.units == 1
+        assert system.state is SystemState.RECOVERY
+        assert not system.normal_task_admissible()
+
+    def test_recovery_returns_to_normal(self):
+        sc, system = make_system()
+        system.submit_alert(sc.malicious_uid)
+        system.scan_step()
+        report = system.recovery_step()
+        assert report is not None
+        assert system.state is SystemState.NORMAL
+        assert system.heal_reports == [report]
+
+    def test_run_to_quiescence_heals(self):
+        sc, system = make_system()
+        system.submit_alert(sc.malicious_uid)
+        assert system.run_to_quiescence() is SystemState.NORMAL
+        assert len(system.heal_reports) == 1
+        # The Figure 1 damage was actually repaired.
+        report = system.heal_reports[0]
+        assert len(report.undone) == 7 and len(report.redone) == 5
+
+
+class TestQueueLimits:
+    def test_alert_queue_overflow_loses_alerts(self):
+        sc, system = make_system(alert_buffer=2)
+        assert system.submit_alert("wf1/t1#1")
+        assert system.submit_alert("wf1/t2#1")
+        assert not system.submit_alert("wf1/t3#1")
+        assert system.alerts_lost == 1
+        assert system.alerts_queued == 2
+
+    def test_scan_blocked_by_full_recovery_queue(self):
+        sc, system = make_system(recovery_buffer=1)
+        system.submit_alert("wf1/t1#1")
+        system.submit_alert("wf1/t2#1")
+        assert system.scan_step() is not None   # fills the single slot
+        assert system.scan_step() is None       # analyzer blocked
+        assert system.state is SystemState.SCAN
+        assert system.recovery_units_queued == 1
+
+    def test_quiescence_raises_on_blocked_analyzer(self):
+        sc, system = make_system(recovery_buffer=1)
+        system.submit_alert("wf1/t1#1")
+        system.submit_alert("wf1/t2#1")
+        with pytest.raises(RecoveryError, match="blocked"):
+            system.run_to_quiescence()
+
+
+class TestStrategies:
+    def test_risk_strategies_admit_normal_tasks(self):
+        sc, system = make_system(
+            strategy=RecoveryStrategy.RISK_NORMAL_ONLY
+        )
+        system.submit_alert(sc.malicious_uid)
+        assert system.normal_task_admissible()
+
+    def test_strategy_properties(self):
+        strict = RecoveryStrategy.STRICT
+        assert strict.blocks_normal_tasks
+        assert strict.recovery_guaranteed_terminating
+        assert not strict.requires_multiversion_store
+
+        risky = RecoveryStrategy.RISK_ALL
+        assert not risky.blocks_normal_tasks
+        assert not risky.recovery_guaranteed_terminating
+        assert not risky.recovery_stays_correct
+
+        mv = RecoveryStrategy.RISK_NORMAL_ONLY
+        assert mv.requires_multiversion_store
+        assert mv.recovery_stays_correct
+
+    def test_describe_nonempty(self):
+        for s in RecoveryStrategy:
+            assert s.describe()
+
+
+class TestNoAlerts:
+    def test_recovery_step_outside_recovery_is_none(self):
+        __, system = make_system()
+        assert system.recovery_step() is None
+
+    def test_scan_step_with_empty_queue_is_none(self):
+        __, system = make_system()
+        assert system.scan_step() is None
+
+    def test_quiescence_trivial_when_normal(self):
+        __, system = make_system()
+        assert system.run_to_quiescence() is SystemState.NORMAL

@@ -1,0 +1,92 @@
+"""Tests for Theorem 1 (undo tasks) and Theorem 2 (redo tasks)."""
+
+import pytest
+
+from repro.core.undo_redo import find_redo_tasks, find_undo_tasks
+from repro.workflow.dependency import DependencyAnalyzer
+
+
+@pytest.fixture
+def fig1_analysis(figure1):
+    dep = DependencyAnalyzer(figure1.log, figure1.specs_by_instance)
+    undo = find_undo_tasks(dep, [figure1.malicious_uid])
+    return figure1, dep, undo
+
+
+class TestTheorem1:
+    def test_condition1_malicious_in_definite(self, fig1_analysis):
+        figure1, dep, undo = fig1_analysis
+        assert figure1.malicious_uid in undo.malicious
+        assert figure1.malicious_uid in undo.definite
+
+    def test_condition3_flow_closure(self, fig1_analysis):
+        """t2, t4, t8, t10 are infected ('A' marks in Figure 1)."""
+        figure1, dep, undo = fig1_analysis
+        assert undo.infected == frozenset(
+            {"wf1/t2#1", "wf1/t4#1", "wf2/t8#1", "wf2/t10#1"}
+        )
+
+    def test_condition2_control_candidates(self, fig1_analysis):
+        """t3 and t4 are control dependent on the infected branch t2."""
+        figure1, dep, undo = fig1_analysis
+        deps = {dep for _, dep in undo.control_candidates}
+        assert "wf1/t3#1" in deps
+        assert "wf1/t4#1" in deps
+
+    def test_condition4_stale_read_candidates(self, fig1_analysis):
+        """t6 reads w, which the unexecuted t5 would write."""
+        figure1, dep, undo = fig1_analysis
+        hits = {
+            (c.unexecuted_task, c.reader_uid)
+            for c in undo.stale_read_candidates
+        }
+        assert ("t5", "wf1/t6#1") in hits
+
+    def test_candidates_exclude_definite(self, fig1_analysis):
+        figure1, dep, undo = fig1_analysis
+        assert not (undo.candidates & undo.definite)
+        # t3 (correct computation, wrong path) is a candidate only.
+        assert "wf1/t3#1" in undo.candidates
+
+    def test_clean_tasks_not_flagged(self, fig1_analysis):
+        figure1, dep, undo = fig1_analysis
+        assert "wf2/t7#1" not in undo.all_possible
+        assert "wf2/t9#1" not in undo.all_possible
+
+    def test_alert_for_uncommitted_instance_ignored(self, figure1):
+        dep = DependencyAnalyzer(figure1.log, figure1.specs_by_instance)
+        undo = find_undo_tasks(dep, ["wf1/ghost#1"])
+        assert undo.definite == frozenset()
+        assert undo.candidates == frozenset()
+
+    def test_empty_malicious_set_empty_analysis(self, figure1):
+        dep = DependencyAnalyzer(figure1.log, figure1.specs_by_instance)
+        undo = find_undo_tasks(dep, [])
+        assert undo.all_possible == frozenset()
+
+
+class TestTheorem2:
+    def test_condition1_non_control_dependent_redone(self, fig1_analysis):
+        """t1, t2, t8, t10 are not control dependent on bad tasks →
+        definite redos."""
+        figure1, dep, undo = fig1_analysis
+        redo = find_redo_tasks(dep, undo.definite)
+        for uid in ("wf1/t1#1", "wf1/t2#1", "wf2/t8#1", "wf2/t10#1"):
+            assert uid in redo.definite
+
+    def test_condition2_control_dependent_becomes_candidate(
+        self, fig1_analysis
+    ):
+        """t4 is bad *and* control dependent on bad t2 → candidate redo,
+        resolved (negatively) only during re-execution."""
+        figure1, dep, undo = fig1_analysis
+        redo = find_redo_tasks(dep, undo.definite)
+        assert "wf1/t4#1" in redo.candidate_uids
+        assert ("wf1/t2#1", "wf1/t4#1") in redo.candidates
+        assert "wf1/t4#1" not in redo.definite
+
+    def test_redo_only_over_undo_set(self, fig1_analysis):
+        figure1, dep, undo = fig1_analysis
+        redo = find_redo_tasks(dep, undo.definite)
+        assert redo.definite <= undo.definite
+        assert redo.candidate_uids <= undo.definite

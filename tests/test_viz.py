@@ -1,0 +1,158 @@
+"""Tests for DOT export and networkx adapters — including independent
+validation of our dominator analysis against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.markov.stg import RecoverySTG
+from repro.scenarios.figure1 import build_figure1
+from repro.workflow.dependency import DependencyAnalyzer
+from repro.workflow.dominators import dominators, unavoidable_nodes
+from repro.workflow.spec import workflow
+from repro.workflow.viz import (
+    dependency_graph_to_dot,
+    dependency_graph_to_networkx,
+    heal_report_to_dot,
+    spec_to_dot,
+    spec_to_networkx,
+    stg_to_dot,
+)
+
+
+class TestSpecExport:
+    def test_networkx_roundtrip_structure(self, diamond_spec):
+        g = spec_to_networkx(diamond_spec)
+        assert set(g.nodes) == set(diamond_spec.tasks)
+        assert set(g.edges) == set(diamond_spec.edges)
+        assert g.nodes["b"]["branch"] is True
+        assert g.nodes["a"]["branch"] is False
+        assert g.nodes["a"]["writes"] == ["ya"]
+        assert g.graph["workflow_id"] == "diamond"
+
+    def test_dot_contains_nodes_edges_and_shapes(self, diamond_spec):
+        dot = spec_to_dot(diamond_spec)
+        assert dot.startswith('digraph "diamond" {')
+        for t in diamond_spec.tasks:
+            assert f'"{t}"' in dot
+        assert '"b" -> "c";' in dot
+        assert "shape=diamond" in dot  # the branch node
+        assert dot.rstrip().endswith("}")
+
+    def test_dominators_match_networkx(self, diamond_spec):
+        """Independent validation: our iterative dominator analysis
+        agrees with networkx.immediate_dominators on every node."""
+        for spec in (diamond_spec, _figure1_wf1(), _nested()):
+            g = spec_to_networkx(spec)
+            idom = nx.immediate_dominators(g, spec.start)
+            ours = dominators(spec)
+            for node in spec.tasks:
+                nx_doms = set()
+                cur = node
+                while True:
+                    nx_doms.add(cur)
+                    # Some networkx versions omit the root from the
+                    # idom mapping; either way the chain ends there.
+                    parent = idom.get(cur, cur)
+                    if parent == cur:
+                        break
+                    cur = parent
+                assert ours[node] == frozenset(nx_doms), node
+
+    def test_unavoidable_nodes_match_networkx_articulation(self):
+        """Unavoidable nodes = nodes on every start→end path; validate
+        via networkx path enumeration on small acyclic specs."""
+        for spec in (_figure1_wf1(), _nested()):
+            g = spec_to_networkx(spec)
+            paths = []
+            for end in spec.ends:
+                paths.extend(
+                    nx.all_simple_paths(g, spec.start, end)
+                )
+            on_all = set(spec.tasks)
+            for p in paths:
+                on_all &= set(p)
+            assert unavoidable_nodes(spec) == frozenset(on_all)
+
+
+class TestDependencyExport:
+    @pytest.fixture
+    def analyzed(self):
+        sc = build_figure1(attacked=True)
+        return sc, DependencyAnalyzer(sc.log, sc.specs_by_instance)
+
+    def test_networkx_edges_carry_kinds(self, analyzed):
+        sc, dep = analyzed
+        g = dependency_graph_to_networkx(dep)
+        kinds = {d["kind"] for _, __, d in g.edges(data=True)}
+        assert "flow" in kinds and "control" in kinds
+        assert g.number_of_nodes() == len(sc.log.normal_records())
+
+    def test_control_edges_optional(self, analyzed):
+        sc, dep = analyzed
+        g = dependency_graph_to_networkx(dep, include_control=False)
+        kinds = {d["kind"] for _, __, d in g.edges(data=True)}
+        assert "control" not in kinds
+        assert "flow" in kinds
+
+    def test_flow_edge_matches_analyzer(self, analyzed):
+        sc, dep = analyzed
+        g = dependency_graph_to_networkx(dep)
+        flow_edges = {
+            (u, v) for u, v, d in g.edges(data=True)
+            if d["kind"] == "flow"
+        }
+        assert ("wf1/t1#1", "wf1/t2#1") in flow_edges
+        assert ("wf1/t1#1", "wf2/t8#1") in flow_edges
+
+    def test_dot_marks_malicious_and_infected(self, analyzed):
+        sc, dep = analyzed
+        dot = dependency_graph_to_dot(dep, malicious=[sc.malicious_uid])
+        assert "#ff8888" in dot   # malicious (B)
+        assert "#ffcc88" in dot   # infected (A)
+        assert '"wf1/t1#1"' in dot
+
+
+class TestHealReportExport:
+    def test_dispositions_rendered(self, figure1):
+        report = figure1.heal_now()
+        dot = heal_report_to_dot(report)
+        assert "(abandoned)" in dot
+        for color in ("#88cc88", "#88aaff", "#ffee88", "#ff8888"):
+            assert color in dot
+        # Settle order renders as a chain.
+        first, second = (s.uid for s in report.final_history[:2])
+        assert f'"{first}" -> "{second}";' in dot
+
+
+class TestSTGExport:
+    def test_states_and_rates_rendered(self):
+        stg = RecoverySTG.paper_default(buffer_size=2)
+        dot = stg_to_dot(stg)
+        assert '"N"' in dot
+        assert "doublecircle" in dot    # loss states
+        assert '"N" -> "S:1/0"' in dot  # the arrival out of NORMAL
+        assert f"label=\"{stg.arrival_rate:g}\"" in dot
+
+
+def _figure1_wf1():
+    return (
+        workflow("wf1")
+        .task("t1").task("t2", choose=lambda d: "t3")
+        .task("t3").task("t4").task("t5").task("t6")
+        .edge("t1", "t2").edge("t2", "t3").edge("t3", "t4")
+        .edge("t4", "t6").edge("t2", "t5").edge("t5", "t6")
+        .build()
+    )
+
+
+def _nested():
+    return (
+        workflow("nested")
+        .task("s", choose=lambda d: "m1")
+        .task("m1", choose=lambda d: "x")
+        .task("x").task("y").task("m2").task("j")
+        .edge("s", "m1").edge("s", "m2")
+        .edge("m1", "x").edge("m1", "y")
+        .edge("x", "j").edge("y", "j").edge("m2", "j")
+        .build()
+    )
