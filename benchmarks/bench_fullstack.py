@@ -24,6 +24,8 @@ import random
 import pytest
 
 from repro.markov.stg import StateCategory
+from repro.obs.events import EventBus
+from repro.obs.metrics import PipelineMetrics
 from repro.report.series import Series, format_series
 from repro.sim.fullstack import FullStackConfig, FullStackSimulator
 
@@ -40,12 +42,25 @@ def sweep_fullstack():
         "repaired": Series("instances repaired"),
     }
     audits = []
+    snapshot = None
     for lam in LAMBDAS:
         cfg = FullStackConfig(
             arrival_rate=lam, scan_time=1 / 15,
             unit_recovery_time=1 / 20, alert_buffer=6, recovery_buffer=6,
         )
-        result = FullStackSimulator(cfg, random.Random(7)).run(HORIZON)
+        # Observe the overload point through the obs layer so the
+        # persisted snapshot records loss counts and queue high-water
+        # marks alongside the figure series.
+        bus = metrics = None
+        if lam == LAMBDAS[-1]:
+            bus = EventBus()
+            metrics = PipelineMetrics().attach(bus)
+            metrics.start(0.0)
+        result = FullStackSimulator(cfg, random.Random(7),
+                                    bus=bus).run(HORIZON)
+        if metrics is not None:
+            metrics.finalize(HORIZON)
+            snapshot = metrics
         out["P(NORMAL)"].add(lam, result.category_occupancy[
             StateCategory.NORMAL])
         out["P(SCAN)"].add(lam, result.category_occupancy[
@@ -58,15 +73,16 @@ def sweep_fullstack():
             result.all_heals_audited_ok
             and result.repaired_instances >= result.attacks
         )
-    return out, audits
+    return out, audits, snapshot
 
 
-def test_fullstack_phases(save_table, benchmark):
-    series, audits = benchmark.pedantic(
+def test_fullstack_phases(save_table, save_metrics, benchmark):
+    series, audits, snapshot = benchmark.pedantic(
         sweep_fullstack, rounds=1, iterations=1
     )
 
     assert all(audits)  # correctness held at every load level
+    assert snapshot is not None and snapshot.alerts_lost.value > 0
 
     normals = series["P(NORMAL)"].ys
     assert normals[0] > 0.9
@@ -88,3 +104,4 @@ def test_fullstack_phases(save_table, benchmark):
             x_label="lambda",
         ),
     )
+    save_metrics("fullstack_phases", snapshot.registry)

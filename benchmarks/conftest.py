@@ -35,3 +35,27 @@ def save_table(results_dir):
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
     return _save
+
+
+@pytest.fixture
+def save_metrics(results_dir):
+    """Persist an observability snapshot next to a benchmark's table.
+
+    Accepts either a :class:`repro.obs.metrics.MetricsRegistry` (dumped
+    in Prometheus text form, so loss counters and queue high-water
+    marks ride along with the figure data) or a plain mapping of
+    ``name -> value`` lines.  Written to ``results/<name>.metrics.txt``.
+    """
+    from repro.obs.export import render_prometheus
+    from repro.obs.metrics import MetricsRegistry
+
+    def _save(name: str, snapshot) -> None:
+        if isinstance(snapshot, MetricsRegistry):
+            text = render_prometheus(snapshot)
+        else:
+            text = "\n".join(
+                f"{key} {value}" for key, value in sorted(snapshot.items())
+            ) + "\n"
+        (results_dir / f"{name}.metrics.txt").write_text(text)
+
+    return _save

@@ -9,9 +9,13 @@ Exposes the library's main flows without writing code::
     repro-workflow transient --t 4       # Equations 2–3 over time
     repro-workflow design --lam 1 --epsilon 0.01   # Section VI sizing
     repro-workflow simulate --horizon 5000          # Gillespie run
+    repro-workflow obs --scenario figure1           # metrics + trace
     repro-workflow stg-dot --buffer 3    # Figure 3 as Graphviz DOT
 
 Every command prints plain text tables (see ``--help`` per command).
+Domain failures (:class:`~repro.errors.RecoveryError`,
+:class:`~repro.errors.SchedulingError`) exit with code
+:data:`EXIT_DOMAIN_ERROR` and a one-line message — never a traceback.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import random
 import sys
 from typing import List, Optional, Sequence
 
+from repro.errors import RecoveryError, SchedulingError, SimulationError
 from repro.markov.degradation import power_law
 from repro.markov.design import design_system, peak_resilience
 from repro.markov.metrics import (
@@ -35,7 +40,10 @@ from repro.markov.stg import RecoverySTG, StateCategory
 from repro.markov.transient import transient_probabilities
 from repro.report.tables import Table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_DOMAIN_ERROR"]
+
+#: Exit code for clean domain failures (recovery/scheduling errors).
+EXIT_DOMAIN_ERROR = 3
 
 
 def _stg_from_args(args) -> RecoverySTG:
@@ -216,6 +224,87 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """Run a scenario with the observability subsystem attached and
+    print its metrics / trace report."""
+    from repro.obs.export import (
+        events_to_jsonl,
+        metrics_table,
+        render_prometheus,
+    )
+    from repro.obs.tracing import render_span_tree
+
+    if args.scenario == "figure1":
+        from repro.obs.runner import run_figure1_observed
+
+        run = run_figure1_observed(
+            false_alarms=args.false_alarms,
+            alert_buffer=args.alert_buffer or args.buffer,
+            recovery_buffer=args.buffer,
+            scan_time=1.0 / args.mu1,
+            task_time=1.0 / args.xi1,
+        )
+        title = "Observed figure1 incident"
+    elif args.scenario == "gillespie":
+        from repro.obs.runner import run_gillespie_observed
+
+        run = run_gillespie_observed(
+            _stg_from_args(args), horizon=args.horizon, seed=args.seed
+        )
+        title = (f"Observed Gillespie trajectory "
+                 f"(horizon {args.horizon:g}, seed {args.seed})")
+    else:  # fullstack
+        from repro.obs.runner import run_fullstack_observed
+        from repro.sim.fullstack import FullStackConfig
+
+        run = run_fullstack_observed(
+            FullStackConfig(
+                arrival_rate=args.lam,
+                scan_time=1.0 / args.mu1,
+                unit_recovery_time=1.0 / args.xi1,
+                alert_buffer=args.alert_buffer or args.buffer,
+                recovery_buffer=args.buffer,
+            ),
+            horizon=args.horizon,
+            seed=args.seed,
+        )
+        title = (f"Observed full-stack run "
+                 f"(horizon {args.horizon:g}, seed {args.seed})")
+
+    print(metrics_table(run.metrics, title).render())
+    if run.spans:
+        print("\nIncident span tree:")
+        print(render_span_tree(run.spans))
+    if args.scenario == "gillespie":
+        # Put the measurement next to the model's prediction.
+        stg = _stg_from_args(args)
+        pi = steady_state(stg.ctmc())
+        predicted = loss_probability(stg, pi)
+        cats = category_probabilities(stg, pi)
+        occ = run.metrics.occupancy()
+        table = Table("Empirical vs CTMC", ["metric", "CTMC", "measured"])
+        for cat in StateCategory:
+            table.add_row(f"P({cat.value})", cats[cat],
+                          occ.get(cat.name, 0.0))
+        table.add_row("loss probability", predicted,
+                      run.metrics.loss_fraction)
+        print()
+        print(table.render())
+    if args.prom:
+        print("\nPrometheus exposition:")
+        print(render_prometheus(run.metrics.registry), end="")
+    if args.events:
+        text = events_to_jsonl(run.events)
+        if args.events == "-":
+            print("\nEvent log (JSONL):")
+            print(text)
+        else:
+            with open(args.events, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"\n{len(run.events)} events written to {args.events}")
+    return 0
+
+
 def cmd_sensitivity(args) -> int:
     """Elasticities of loss probability / P(NORMAL) at a design point."""
     from repro.markov.sensitivity import (
@@ -311,6 +400,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_simulate)
 
+    p = sub.add_parser("obs", help=cmd_obs.__doc__)
+    _add_model_args(p)
+    p.add_argument("--scenario",
+                   choices=["figure1", "gillespie", "fullstack"],
+                   default="figure1",
+                   help="what to run under observation (default figure1)")
+    p.add_argument("--false-alarms", type=int, default=2,
+                   help="spurious IDS alerts injected after the genuine "
+                        "one (figure1 scenario; default 2)")
+    p.add_argument("--horizon", type=float, default=500.0,
+                   help="simulated duration (gillespie/fullstack)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prom", action="store_true",
+                   help="also print the Prometheus text exposition")
+    p.add_argument("--events", metavar="FILE", default=None,
+                   help="dump the JSONL event log to FILE ('-' for "
+                        "stdout)")
+    p.set_defaults(fn=cmd_obs)
+
     p = sub.add_parser("sensitivity", help=cmd_sensitivity.__doc__)
     _add_model_args(p)
     p.set_defaults(fn=cmd_sensitivity)
@@ -327,9 +435,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Domain failures (recovery impossible, scheduler stuck, a simulation
+    asked to do the impossible) are reported as a single ``error:``
+    line on stderr with exit code :data:`EXIT_DOMAIN_ERROR` — scripts
+    get a distinct status and users never see a traceback for a
+    well-diagnosed condition.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (RecoveryError, SchedulingError, SimulationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_DOMAIN_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

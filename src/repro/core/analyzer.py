@@ -15,12 +15,23 @@ them), which is exactly the ``μ_k`` degradation the CTMC models; see
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+import time as _time
+from typing import (
+    Callable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.partial_orders import recovery_partial_order
 from repro.core.plan import RecoveryPlan
 from repro.core.undo_redo import find_redo_tasks, find_undo_tasks
 from repro.ids.alerts import Alert
+from repro.obs.events import EventBus, ScanStep
 from repro.workflow.dependency import DependencyAnalyzer
 from repro.workflow.log import SystemLog
 from repro.workflow.spec import WorkflowSpec
@@ -37,16 +48,28 @@ class RecoveryAnalyzer:
         The system log to analyze.
     specs_by_instance:
         Spec executed by each workflow instance in the log.
+    bus:
+        Optional :class:`repro.obs.events.EventBus`; when attached, each
+        :meth:`analyze` call publishes a
+        :class:`~repro.obs.events.ScanStep` carrying its dependence-check
+        cost.  No-op when ``None``.
+    clock:
+        Timestamp source for published events (default
+        ``time.monotonic``).
     """
 
     def __init__(
         self,
         log: SystemLog,
         specs_by_instance: Mapping[str, WorkflowSpec],
+        bus: Optional[EventBus] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self._log = log
         self._specs = dict(specs_by_instance)
         self._dep: Optional[DependencyAnalyzer] = None
+        self._bus = bus
+        self._clock = clock if clock is not None else _time.monotonic
 
     def _dependency_analyzer(self) -> DependencyAnalyzer:
         if self._dep is None or len(self._dep.log) != len(self._log):
@@ -90,6 +113,14 @@ class RecoveryAnalyzer:
         )
         order.check_acyclic()
         cross = self._cross_unit_constraints(analyzer, order, outstanding)
+        if self._bus is not None and self._bus.active:
+            outstanding_units = sum(p.units for p in outstanding)
+            self._bus.publish(ScanStep(
+                self._clock(),
+                uid=uids[0] if uids else "",
+                outstanding_units=outstanding_units,
+                cost=self.analysis_cost(outstanding_units),
+            ))
         return RecoveryPlan(
             alert_uids=tuple(uids),
             undo_analysis=undo_analysis,

@@ -129,10 +129,17 @@ class EpochManager:
 
     # -- healing ----------------------------------------------------------------
 
-    def heal(self, malicious, forged_runs=()) -> HealReport:
-        """Heal the current epoch, then roll to the next one."""
+    def heal(self, malicious, forged_runs=(), bus=None,
+             clock=None) -> HealReport:
+        """Heal the current epoch, then roll to the next one.
+
+        ``bus``/``clock`` are forwarded to the underlying
+        :class:`~repro.core.healer.Healer` for per-task undo/redo
+        observability (no-ops when ``None``).
+        """
         healer = Healer(
-            self._store, self._log, self._specs, baseline=self._baseline
+            self._store, self._log, self._specs, baseline=self._baseline,
+            bus=bus, clock=clock,
         )
         report = healer.heal(malicious, forged_runs=forged_runs)
         self._combined_history.extend(report.final_history)

@@ -53,9 +53,11 @@ alerts: SCAN drains the alert queue, then recovery executes).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import (
     Any,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -71,6 +73,7 @@ from repro.core.actions import Action
 from repro.core.axioms import HistoryStep
 from repro.core.undo_redo import UndoAnalysis, find_undo_tasks
 from repro.errors import ExecutionError, RecoveryError
+from repro.obs.events import EventBus, TaskRedone, TaskUndone
 from repro.workflow.data import TOMBSTONE, DataStore
 from repro.workflow.dependency import DependencyAnalyzer
 from repro.workflow.log import LogRecord, RecordKind, SystemLog
@@ -256,6 +259,14 @@ class Healer:
         :class:`~repro.core.epochs.EpochManager` so that a heal of a
         later epoch measures damage against the previous epoch's healed
         values instead of the original initial data.
+    bus:
+        Optional :class:`repro.obs.events.EventBus`; when attached, each
+        undo/redo publishes a :class:`~repro.obs.events.TaskUndone` /
+        :class:`~repro.obs.events.TaskRedone` event.  No-op when
+        ``None``.
+    clock:
+        Timestamp source for published events (default
+        ``time.monotonic``).
     """
 
     def __init__(
@@ -264,11 +275,23 @@ class Healer:
         log: SystemLog,
         specs_by_instance: Mapping[str, WorkflowSpec],
         baseline: Optional[Mapping[str, int]] = None,
+        bus: Optional[EventBus] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self._store = store
         self._log = log
         self._specs = dict(specs_by_instance)
         self._baseline = dict(baseline) if baseline is not None else None
+        self._bus = bus if bus is not None and bus.active else None
+        self._clock = clock if clock is not None else _time.monotonic
+
+    def _note_undo(self, uid: str) -> None:
+        if self._bus is not None:
+            self._bus.publish(TaskUndone(self._clock(), uid=uid))
+
+    def _note_redo(self, uid: str) -> None:
+        if self._bus is not None:
+            self._bus.publish(TaskRedone(self._clock(), uid=uid))
 
     # -- public API ---------------------------------------------------------
 
@@ -316,6 +339,7 @@ class Healer:
             record = analyzer.record(uid)
             undone.append(uid)
             actions.append(Action.undo(uid))
+            self._note_undo(uid)
             log.commit(
                 record.instance,
                 reads={},
@@ -454,6 +478,7 @@ class Healer:
             # incorrect even though it was not in the static closure.
             undone.append(uid)
             actions.append(Action.undo(uid))
+            self._note_undo(uid)
             for name, ver in record.writes.items():
                 dirty.add((name, ver))
             self._log.commit(
@@ -468,6 +493,7 @@ class Healer:
         walker.expected = chosen
         redone.append(uid)
         actions.append(Action.redo(uid))
+        self._note_redo(uid)
         history.append(
             HistoryStep(
                 instance.workflow_instance, instance.task_id, instance.number
@@ -490,6 +516,7 @@ class Healer:
         if uid not in set(undone):
             undone.append(uid)
             actions.append(Action.undo(uid))
+            self._note_undo(uid)
         if uid not in closure:
             # Closure members already carry a Phase-A undo record.
             self._log.commit(
@@ -550,6 +577,7 @@ class Healer:
         walker.expected = chosen
         new_execs.append(instance.uid)
         actions.append(Action.redo(instance.uid))
+        self._note_redo(instance.uid)
         history.append(HistoryStep(wf, task_id, number))
 
     def _execute(

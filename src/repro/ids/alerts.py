@@ -11,7 +11,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Deque,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import QueueFullError
 
@@ -41,21 +50,36 @@ class Alert:
     genuine: bool = True
 
 
+#: Instrumentation hook: called as ``hook(op, queue)`` with ``op`` one
+#: of ``"offer"``, ``"lost"``, ``"pop"`` after the operation applied.
+QueueHook = Callable[[str, "BoundedQueue"], None]
+
+
 class BoundedQueue(Generic[T]):
     """FIFO queue with finite capacity and loss accounting.
 
     ``offer`` returns ``False`` (and counts a loss) when the queue is
     full; ``push`` raises instead.  Used for both the alert queue and the
     recovery-task queue.
+
+    Besides loss counts the queue tracks its **high-water mark** — the
+    maximum simultaneous occupancy since creation or the last
+    :meth:`reset_stats` — which is what the CTMC comparison and the
+    metrics layer need (occupancy, not just losses).  An optional
+    instrumentation hook (:meth:`set_hook`) observes every mutation;
+    when unset the only overhead is one ``None`` check per operation.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int,
+                 hook: Optional[QueueHook] = None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._items: Deque[T] = deque()
         self._lost = 0
         self._accepted = 0
+        self._high_water = 0
+        self._hook = hook
 
     @property
     def capacity(self) -> int:
@@ -72,26 +96,52 @@ class BoundedQueue(Generic[T]):
         """Number of items successfully enqueued over the queue's life."""
         return self._accepted
 
+    @property
+    def high_water(self) -> int:
+        """Maximum simultaneous occupancy since the last stats reset."""
+        return self._high_water
+
+    def set_hook(self, hook: Optional[QueueHook]) -> None:
+        """Install (or, with ``None``, remove) the instrumentation hook."""
+        self._hook = hook
+
+    def reset_stats(self) -> None:
+        """Zero the loss/accepted counters and re-base the high-water
+        mark at the current occupancy (queued items are untouched)."""
+        self._lost = 0
+        self._accepted = 0
+        self._high_water = len(self._items)
+
     def offer(self, item: T) -> bool:
         """Enqueue ``item`` if capacity allows; count a loss otherwise."""
         if len(self._items) >= self._capacity:
             self._lost += 1
+            if self._hook is not None:
+                self._hook("lost", self)
             return False
         self._items.append(item)
         self._accepted += 1
+        if len(self._items) > self._high_water:
+            self._high_water = len(self._items)
+        if self._hook is not None:
+            self._hook("offer", self)
         return True
 
     def push(self, item: T) -> None:
         """Enqueue ``item`` or raise :class:`QueueFullError`."""
-        if not self.offer(item):
-            self._lost -= 1  # push's failure is an error, not a loss
+        if len(self._items) >= self._capacity:
+            # push's failure is an error, not a loss
             raise QueueFullError(
                 f"queue full (capacity {self._capacity})"
             )
+        self.offer(item)
 
     def pop(self) -> T:
         """Dequeue the oldest item."""
-        return self._items.popleft()
+        item = self._items.popleft()
+        if self._hook is not None:
+            self._hook("pop", self)
+        return item
 
     def peek(self) -> T:
         """Oldest item without dequeuing."""

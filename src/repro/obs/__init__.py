@@ -1,0 +1,87 @@
+"""repro.obs — observability for the detect→analyze→heal pipeline.
+
+The paper's evaluation is quantitative — loss probability, queue
+occupancy, state dwell times, recovery latency (Sections IV-C–IV-E,
+Definitions 3–4) — so the runtime must be able to *measure* itself.
+This package provides the measurement layer:
+
+- :mod:`repro.obs.events` — a process-local event bus with one typed
+  event per pipeline happening (alert enqueued/lost, scan step, unit
+  emitted, state transition, heal started/finished, task undone/redone,
+  normal task refused);
+- :mod:`repro.obs.metrics` — counters, gauges (with high-water marks),
+  and fixed-bucket histograms, plus :class:`PipelineMetrics`, a bus
+  subscriber that derives the paper's quantities from the event stream;
+- :mod:`repro.obs.tracing` — span-based tracing with an injectable
+  monotonic clock, so both simulated and wall time work, producing a
+  span tree per incident (alert → scan → plan → undo → redo);
+- :mod:`repro.obs.export` — JSON-lines event dumps, Prometheus-style
+  text rendering, and summary tables via :mod:`repro.report.tables`;
+- :mod:`repro.obs.runner` — instrumented end-to-end scenario drivers
+  behind the ``repro-workflow obs`` CLI subcommand.
+
+Instrumentation is strictly opt-in: every instrumented component takes
+an optional bus and publishes nothing (and allocates nothing) when none
+is attached.
+"""
+
+from repro.obs.events import (
+    AlertEnqueued,
+    AlertLost,
+    EventBus,
+    EventRecorder,
+    HealFinished,
+    HealStarted,
+    NormalTaskRefused,
+    ObsEvent,
+    ScanStep,
+    StateTransition,
+    TaskRedone,
+    TaskUndone,
+    UnitEmitted,
+)
+from repro.obs.export import (
+    events_to_jsonl,
+    metrics_table,
+    render_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PipelineMetrics,
+)
+from repro.obs.tracing import ManualClock, Span, Tracer, render_span_tree
+
+__all__ = [
+    # events
+    "ObsEvent",
+    "AlertEnqueued",
+    "AlertLost",
+    "ScanStep",
+    "UnitEmitted",
+    "StateTransition",
+    "HealStarted",
+    "HealFinished",
+    "TaskUndone",
+    "TaskRedone",
+    "NormalTaskRefused",
+    "EventBus",
+    "EventRecorder",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PipelineMetrics",
+    # tracing
+    "ManualClock",
+    "Span",
+    "Tracer",
+    "render_span_tree",
+    # export
+    "events_to_jsonl",
+    "render_prometheus",
+    "metrics_table",
+]

@@ -1,0 +1,247 @@
+"""Typed pipeline events and the process-local event bus.
+
+One frozen dataclass per observable happening in the Figure 2
+architecture.  Every event carries ``time`` — simulated or wall-clock
+seconds, whichever clock the publisher uses; the bus never looks at it.
+
+Publishers hold an ``Optional[EventBus]`` and guard every emission with
+``if bus is not None`` (and, for events that are costly to build, with
+:attr:`EventBus.active`), so un-instrumented runs pay a single ``None``
+check per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+__all__ = [
+    "ObsEvent",
+    "AlertEnqueued",
+    "AlertLost",
+    "ScanStep",
+    "UnitEmitted",
+    "StateTransition",
+    "HealStarted",
+    "HealFinished",
+    "TaskUndone",
+    "TaskRedone",
+    "NormalTaskRefused",
+    "EventBus",
+    "EventRecorder",
+]
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base class of all pipeline events."""
+
+    time: float
+
+    @property
+    def kind(self) -> str:
+        """The event's type name (``AlertLost``, ``ScanStep``, ...)."""
+        return type(self).__name__
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict form (used by the JSONL exporter)."""
+        out: Dict[str, Any] = {"event": self.kind}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class AlertEnqueued(ObsEvent):
+    """An IDS alert was accepted into the alert queue."""
+
+    uid: str
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class AlertLost(ObsEvent):
+    """An IDS alert was rejected by a full alert queue (Definition 3)."""
+
+    uid: str
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class ScanStep(ObsEvent):
+    """The analyzer processed one alert into a recovery plan.
+
+    ``cost`` is the analyzer's dependence-check count (the linear
+    ``μ_k`` work of Section V-A); ``outstanding_units`` the recovery
+    units already queued when the scan ran.
+    """
+
+    uid: str
+    outstanding_units: int
+    cost: int
+
+
+@dataclass(frozen=True)
+class UnitEmitted(ObsEvent):
+    """A recovery plan entered the recovery-task queue."""
+
+    units: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class StateTransition(ObsEvent):
+    """The system moved between Section IV-C states.
+
+    ``old``/``new`` are state names; for simulators with a richer state
+    space (the STG's ``(a, r)`` pairs) they hold the full state string
+    and ``old_category``/``new_category`` hold NORMAL/SCAN/RECOVERY.
+    """
+
+    old: str
+    new: str
+    old_category: str = ""
+    new_category: str = ""
+
+    @property
+    def category_from(self) -> str:
+        """Category left (falls back to ``old`` when not set)."""
+        return self.old_category or self.old
+
+    @property
+    def category_to(self) -> str:
+        """Category entered (falls back to ``new`` when not set)."""
+        return self.new_category or self.new
+
+
+@dataclass(frozen=True)
+class HealStarted(ObsEvent):
+    """A batch heal began executing."""
+
+    malicious: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HealFinished(ObsEvent):
+    """A batch heal committed.
+
+    The undo/redo set sizes are the per-heal work the CTMC abstracts
+    into the ``ξ_k`` service rate.
+    """
+
+    undone: int
+    redone: int
+    kept: int
+    abandoned: int
+    new_executions: int
+    duration: float
+
+
+@dataclass(frozen=True)
+class TaskUndone(ObsEvent):
+    """The healer removed one task instance's effects."""
+
+    uid: str
+
+
+@dataclass(frozen=True)
+class TaskRedone(ObsEvent):
+    """The healer re-executed one task instance (redo or new path)."""
+
+    uid: str
+
+
+@dataclass(frozen=True)
+class NormalTaskRefused(ObsEvent):
+    """Strict correctness refused a normal task (Theorem 4's gate)."""
+
+    state: str
+
+
+Handler = Callable[[ObsEvent], None]
+
+
+class EventBus:
+    """Synchronous in-process pub/sub for :class:`ObsEvent`.
+
+    Handlers subscribe either to everything or to a set of event types;
+    :meth:`publish` dispatches in subscription order.  With no
+    subscribers the bus is inert and :attr:`active` is ``False`` —
+    instrumented code uses that to skip building expensive events.
+    """
+
+    def __init__(self) -> None:
+        self._all: List[Handler] = []
+        self._typed: Dict[Type[ObsEvent], List[Handler]] = {}
+        self._count = 0
+
+    @property
+    def active(self) -> bool:
+        """``True`` when at least one handler is subscribed."""
+        return self._count > 0
+
+    def subscribe(
+        self,
+        handler: Handler,
+        types: Optional[Iterable[Type[ObsEvent]]] = None,
+    ) -> Handler:
+        """Register ``handler`` for all events (or only for ``types``);
+        returns the handler for symmetry with :meth:`unsubscribe`."""
+        if types is None:
+            self._all.append(handler)
+        else:
+            for t in types:
+                self._typed.setdefault(t, []).append(handler)
+        self._count += 1
+        return handler
+
+    def unsubscribe(self, handler: Handler) -> None:
+        """Remove every registration of ``handler`` (no-op if absent)."""
+        removed = 0
+        if handler in self._all:
+            self._all = [h for h in self._all if h is not handler]
+            removed += 1
+        for t, handlers in list(self._typed.items()):
+            if handler in handlers:
+                self._typed[t] = [h for h in handlers if h is not handler]
+                removed += 1
+                if not self._typed[t]:
+                    del self._typed[t]
+        self._count = max(0, self._count - removed)
+
+    def publish(self, event: ObsEvent) -> None:
+        """Dispatch ``event`` to every matching handler, in order."""
+        if self._count == 0:
+            return
+        for handler in self._all:
+            handler(event)
+        typed = self._typed.get(type(event))
+        if typed:
+            for handler in typed:
+                handler(event)
+
+
+class EventRecorder:
+    """Bus subscriber that keeps every event in arrival order."""
+
+    def __init__(self) -> None:
+        self.events: List[ObsEvent] = []
+
+    def __call__(self, event: ObsEvent) -> None:
+        self.events.append(event)
+
+    def attach(self, bus: EventBus) -> "EventRecorder":
+        """Subscribe to ``bus``; returns self for chaining."""
+        bus.subscribe(self)
+        return self
+
+    def of_type(self, event_type: Type[ObsEvent]) -> List[ObsEvent]:
+        """Recorded events of one type, in order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self.events.clear()

@@ -1,0 +1,100 @@
+"""Exporters: JSON-lines event dumps, Prometheus text, summary tables.
+
+Everything renders to plain strings so callers decide where the bytes
+go (stdout, a file, a test assertion).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.obs.events import ObsEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PipelineMetrics,
+)
+from repro.report.tables import Table
+
+__all__ = ["events_to_jsonl", "render_prometheus", "metrics_table"]
+
+
+def events_to_jsonl(events: Iterable[ObsEvent]) -> str:
+    """One compact JSON object per line, in event order."""
+    return "\n".join(
+        json.dumps(e.to_dict(), sort_keys=True, separators=(",", ":"))
+        for e in events
+    )
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every instrument in ``registry``.
+
+    Families (same name, different labels) share one ``# HELP`` /
+    ``# TYPE`` header; histogram buckets are rendered cumulatively with
+    the conventional ``_bucket{le=...}`` / ``_sum`` / ``_count`` series.
+    """
+    lines: List[str] = []
+    seen_headers = set()
+
+    def fmt(value: float) -> str:
+        if value == int(value):
+            return str(int(value))
+        return repr(value)
+
+    def merge_labels(metric, extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in metric.labels]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    for metric in registry.metrics():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Counter):
+            lines.append(
+                f"{metric.name}{metric.label_str} {fmt(metric.value)}"
+            )
+        elif isinstance(metric, Gauge):
+            lines.append(
+                f"{metric.name}{metric.label_str} {fmt(metric.value)}"
+            )
+            lines.append(
+                f"{metric.name}_high_water{metric.label_str} "
+                f"{fmt(metric.high_water)}"
+            )
+        elif isinstance(metric, Histogram):
+            acc = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                acc += count
+                le = 'le="%s"' % fmt(bound)
+                lines.append(
+                    f"{metric.name}_bucket{merge_labels(metric, le)} {acc}"
+                )
+            inf = 'le="+Inf"'
+            lines.append(
+                f"{metric.name}_bucket{merge_labels(metric, inf)} "
+                f"{metric.count}"
+            )
+            lines.append(
+                f"{metric.name}_sum{metric.label_str} {fmt(metric.sum)}"
+            )
+            lines.append(
+                f"{metric.name}_count{metric.label_str} {metric.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_table(pipeline: PipelineMetrics,
+                  title: str = "Pipeline metrics") -> Table:
+    """The collector's summary as a :class:`~repro.report.tables.Table`."""
+    table = Table(title, ["metric", "value"])
+    for name, value in pipeline.summary_rows():
+        table.add_row(name, value)
+    return table

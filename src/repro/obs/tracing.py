@@ -1,0 +1,170 @@
+"""Span-based tracing with an injectable clock.
+
+An incident — one burst of alerts through detect → scan → plan → undo →
+redo — is naturally a tree of timed spans.  The tracer here is tiny and
+synchronous: spans nest via a context-manager API, timestamps come from
+whatever zero-argument clock callable the caller injects, so the same
+code traces wall time (``time.monotonic``) and simulated time
+(:class:`ManualClock` driven by a simulator) identically.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["Clock", "ManualClock", "Span", "Tracer", "render_span_tree"]
+
+#: A clock is any zero-argument callable returning monotonic seconds.
+Clock = Any
+
+
+class ManualClock:
+    """Explicitly advanced clock for simulated time.
+
+    Calling the instance returns the current time; :meth:`advance` and
+    :meth:`set` move it forward (never backward — tracing needs
+    monotonicity).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current time."""
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` (>= 0); returns now."""
+        if delta < 0:
+            raise ValueError(f"cannot advance by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def set(self, now: float) -> float:
+        """Jump to an absolute time (>= current); returns now."""
+        if now < self._now:
+            raise ValueError(
+                f"cannot move clock backward: {now} < {self._now}"
+            )
+        self._now = float(now)
+        return self._now
+
+
+class Span:
+    """One timed operation in an incident's span tree."""
+
+    __slots__ = ("name", "attributes", "start", "end", "children")
+
+    def __init__(self, name: str, start: float,
+                 attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def finished(self) -> bool:
+        """Has the span been ended?"""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time (0 while unfinished)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"{self.duration:.6g}" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class Tracer:
+    """Builds span trees against an injected clock.
+
+    Spans opened while another span is open become its children; spans
+    opened at top level become roots.  The usual shape is one root per
+    incident.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._stack: List[Span] = []
+        self.roots: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, **attributes: Any) -> Span:
+        """Open a span as a child of the current one (or a new root)."""
+        span = Span(name, self._clock(), attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Optional[Span] = None) -> Span:
+        """Close the innermost span (must be ``span`` when given)."""
+        if not self._stack:
+            raise ReproError("no open span to end")
+        top = self._stack.pop()
+        if span is not None and span is not top:
+            self._stack.append(top)
+            raise ReproError(
+                f"span nesting violated: ending {span.name!r} while "
+                f"{top.name!r} is innermost"
+            )
+        top.end = self._clock()
+        return top
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Context manager: open on enter, close on exit (also on
+        exceptions, so error paths still produce finished spans)."""
+        s = self.start_span(name, **attributes)
+        try:
+            yield s
+        finally:
+            self.end_span(s)
+
+
+def render_span_tree(roots: List[Span], indent: str = "  ") -> str:
+    """ASCII rendering of finished span trees, durations included."""
+    lines: List[str] = []
+
+    def fmt_attrs(span: Span) -> str:
+        if not span.attributes:
+            return ""
+        inner = ", ".join(
+            f"{k}={v}" for k, v in sorted(span.attributes.items())
+        )
+        return f"  [{inner}]"
+
+    def walk(span: Span, depth: int) -> None:
+        dur = f"{span.duration:.6g}" if span.finished else "open"
+        lines.append(
+            f"{indent * depth}- {span.name} ({dur}){fmt_attrs(span)}"
+        )
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)

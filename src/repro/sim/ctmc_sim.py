@@ -19,6 +19,13 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.markov.stg import RecoverySTG, State, StateCategory
+from repro.obs.events import (
+    AlertEnqueued,
+    AlertLost,
+    EventBus,
+    StateTransition,
+    UnitEmitted,
+)
 
 __all__ = ["GillespieResult", "GillespieSimulator"]
 
@@ -75,15 +82,27 @@ class GillespieSimulator:
         The recovery-system STG (its rates drive the simulation).
     rng:
         Source of randomness; defaults to a fixed-seed generator.
+    bus:
+        Optional :class:`repro.obs.events.EventBus`; when attached, the
+        trajectory is published as typed events — every jump as a
+        :class:`~repro.obs.events.StateTransition` (full ``(a, r)``
+        state string plus NORMAL/SCAN/RECOVERY category), every accepted
+        arrival as an :class:`~repro.obs.events.AlertEnqueued`, every
+        lost arrival as an :class:`~repro.obs.events.AlertLost` — all
+        stamped with simulated time.  This is how the empirical CTMC
+        validation measures occupancy and loss through the same
+        observability layer the operational system uses.
     """
 
     def __init__(
         self,
         stg: RecoverySTG,
         rng: Optional[random.Random] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self._stg = stg
         self._rng = rng if rng is not None else random.Random(0)
+        self._bus = bus
         # Per-source sorted outgoing transitions, consistent by
         # construction with the analytic generator.
         self._out: Dict[State, Tuple[Tuple[State, float], ...]] = {
@@ -114,6 +133,8 @@ class GillespieSimulator:
         rng = self._rng
         state = start if start is not None else stg.normal_state
         lam = stg.arrival_rate
+        bus = self._bus if self._bus is not None and self._bus.active \
+            else None
 
         time_in: Dict[State, float] = {}
         now = 0.0
@@ -140,12 +161,32 @@ class GillespieSimulator:
                 lost_here = self._poisson_count(lam * elapsed)
                 arrivals += lost_here
                 arrivals_lost += lost_here
+                if bus is not None:
+                    for _ in range(lost_here):
+                        bus.publish(AlertLost(
+                            end, uid="", queue_depth=state.alerts,
+                        ))
             now = end
             if now >= horizon or total <= 0:
                 break
             nxt = self._choose(out, total)
             if nxt.alerts == state.alerts + 1:
                 arrivals += 1  # an accepted alert arrival
+                if bus is not None:
+                    bus.publish(AlertEnqueued(
+                        now, uid="", queue_depth=nxt.alerts,
+                    ))
+            elif bus is not None and nxt.units == state.units + 1:
+                # A scan jump moves one alert into the recovery queue.
+                bus.publish(UnitEmitted(
+                    now, units=1, queue_depth=nxt.units,
+                ))
+            if bus is not None:
+                bus.publish(StateTransition(
+                    now, old=str(state), new=str(nxt),
+                    old_category=state.category.name,
+                    new_category=nxt.category.name,
+                ))
             state = nxt
             jumps += 1
 

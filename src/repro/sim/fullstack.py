@@ -38,6 +38,15 @@ from repro.core.plan import RecoveryPlan
 from repro.errors import SimulationError
 from repro.ids.attacks import AttackCampaign
 from repro.markov.stg import StateCategory
+from repro.obs.events import (
+    AlertEnqueued,
+    AlertLost,
+    EventBus,
+    HealFinished,
+    HealStarted,
+    StateTransition,
+    UnitEmitted,
+)
 from repro.sim.simulator import Simulator
 from repro.workflow.data import DataStore
 from repro.workflow.spec import WorkflowSpec, workflow
@@ -130,15 +139,30 @@ def _victim_spec(name: str) -> WorkflowSpec:
 
 
 class FullStackSimulator:
-    """Timed simulation with a real store, log, analyzer and healer."""
+    """Timed simulation with a real store, log, analyzer and healer.
+
+    Parameters
+    ----------
+    config, rng:
+        Simulation knobs and randomness source.
+    bus:
+        Optional :class:`repro.obs.events.EventBus`; when attached, the
+        whole pipeline publishes typed events stamped with *simulated*
+        time — alert arrivals and losses, scan steps (via the real
+        analyzer), unit emissions, NORMAL/SCAN/RECOVERY transitions,
+        and heal lifecycles including per-task undo/redo from the real
+        healer.  ``None`` (default) adds no observable cost.
+    """
 
     def __init__(
         self,
         config: Optional[FullStackConfig] = None,
         rng: Optional[random.Random] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self._config = config if config is not None else FullStackConfig()
         self._rng = rng if rng is not None else random.Random(0)
+        self._bus = bus
 
     def run(self, horizon: float) -> FullStackResult:
         """Simulate ``[0, horizon]``; remaining damage is healed in a
@@ -146,6 +170,8 @@ class FullStackSimulator:
         if horizon <= 0:
             raise SimulationError(f"horizon must be > 0, got {horizon}")
         cfg, rng = self._config, self._rng
+        bus = self._bus if self._bus is not None and self._bus.active \
+            else None
         sim = Simulator()
 
         initial = {"balance": 100}
@@ -175,11 +201,27 @@ class FullStackSimulator:
                 return StateCategory.RECOVERY
             return StateCategory.NORMAL
 
+        last_category = StateCategory.NORMAL
+
         def account() -> None:
             nonlocal last
             now = min(sim.now, horizon)
             time_in[category()] += now - last
             last = now
+
+        def note_state() -> None:
+            """Publish a StateTransition if the category changed; call
+            after queue/flag mutations so timestamps match the cause."""
+            nonlocal last_category
+            if bus is None:
+                return
+            cat = category()
+            if cat is not last_category:
+                bus.publish(StateTransition(
+                    min(sim.now, horizon),
+                    old=last_category.name, new=cat.name,
+                ))
+                last_category = cat
 
         def commit_repairs() -> None:
             """Real heal of everything drained so far, plus admin
@@ -190,10 +232,23 @@ class FullStackSimulator:
                 return
             executed_uids.clear()
             lost_backlog.clear()
-            report = manager.heal(uids)
+            now = min(sim.now, horizon)
+            if bus is not None:
+                bus.publish(HealStarted(now, malicious=tuple(uids)))
+            report = manager.heal(uids, bus=bus, clock=lambda: now)
             heals += 1
             repaired += len(report.undone)
             audits_ok = audits_ok and manager.audit().ok
+            if bus is not None:
+                bus.publish(HealFinished(
+                    now,
+                    undone=len(report.undone),
+                    redone=len(report.redone),
+                    kept=len(report.kept),
+                    abandoned=len(report.abandoned),
+                    new_executions=len(report.new_executions),
+                    duration=0.0,  # commits are instantaneous in sim time
+                ))
 
         def dispatch() -> None:
             nonlocal scanning, recovering
@@ -231,23 +286,41 @@ class FullStackSimulator:
             if len(alert_queue) >= cfg.alert_buffer:
                 alerts_lost += 1
                 lost_backlog.append(uid)
+                if bus is not None:
+                    bus.publish(AlertLost(
+                        min(sim.now, horizon), uid=uid,
+                        queue_depth=len(alert_queue),
+                    ))
             else:
                 alert_queue.append(uid)
+                if bus is not None:
+                    bus.publish(AlertEnqueued(
+                        min(sim.now, horizon), uid=uid,
+                        queue_depth=len(alert_queue),
+                    ))
             sim.schedule(rng.expovariate(cfg.arrival_rate), attack,
                          "attack")
             dispatch()
+            note_state()
 
         def scan_done() -> None:
             nonlocal scanning
             account()
             scanning = False
             uid = alert_queue.pop(0)
+            now = min(sim.now, horizon)
             analyzer = RecoveryAnalyzer(
-                manager.log, manager.specs_by_instance
+                manager.log, manager.specs_by_instance,
+                bus=bus, clock=lambda: now,
             )
             plan = analyzer.analyze([uid], outstanding=list(unit_queue))
             unit_queue.append(plan)
+            if bus is not None:
+                bus.publish(UnitEmitted(
+                    now, units=plan.units, queue_depth=len(unit_queue),
+                ))
             dispatch()
+            note_state()
 
         def recovery_done() -> None:
             nonlocal recovering
@@ -257,6 +330,7 @@ class FullStackSimulator:
                 executed_uids.extend(plan.alert_uids)
             unit_queue.clear()
             dispatch()
+            note_state()
 
         if cfg.arrival_rate > 0:
             sim.schedule(rng.expovariate(cfg.arrival_rate), attack,
@@ -270,7 +344,9 @@ class FullStackSimulator:
         for plan in unit_queue:
             executed_uids.extend(plan.alert_uids)
         unit_queue.clear()
+        scanning = recovering = False
         commit_repairs()
+        note_state()
 
         return FullStackResult(
             horizon=horizon,

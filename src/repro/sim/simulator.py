@@ -18,12 +18,31 @@ __all__ = ["Simulator"]
 
 
 class Simulator:
-    """Event loop with a simulated clock."""
+    """Event loop with a simulated clock.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    observer:
+        Optional hook called with each :class:`Event` right after it
+        fires — the tracing layer uses it to mirror simulated time into
+        an observability clock.  ``None`` (default) costs one check per
+        fired event.
+    """
+
+    def __init__(
+        self,
+        observer: Optional[Callable[[Event], None]] = None,
+    ) -> None:
         self._heap: List[Event] = []
         self._now = 0.0
         self._fired = 0
+        self._observer = observer
+
+    def set_observer(
+        self, observer: Optional[Callable[[Event], None]]
+    ) -> None:
+        """Install (or remove, with ``None``) the fired-event hook."""
+        self._observer = observer
 
     @property
     def now(self) -> float:
@@ -78,6 +97,8 @@ class Simulator:
             self._fired += 1
             if event.action is not None:
                 event.action()
+            if self._observer is not None:
+                self._observer(event)
             return True
         return False
 

@@ -31,8 +31,9 @@ requires the alert queue to drain before recovery runs).
 
 from __future__ import annotations
 
+import time as _time
 from enum import Enum
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.analyzer import RecoveryAnalyzer
 from repro.core.healer import HealReport, Healer
@@ -40,6 +41,16 @@ from repro.core.plan import RecoveryPlan
 from repro.core.strategies import RecoveryStrategy
 from repro.errors import RecoveryError, SchedulingError
 from repro.ids.alerts import Alert, BoundedQueue
+from repro.obs.events import (
+    AlertEnqueued,
+    AlertLost,
+    EventBus,
+    HealFinished,
+    HealStarted,
+    NormalTaskRefused,
+    StateTransition,
+    UnitEmitted,
+)
 from repro.workflow.data import DataStore
 from repro.workflow.log import SystemLog
 from repro.workflow.spec import WorkflowSpec
@@ -70,6 +81,17 @@ class SelfHealingSystem:
     strategy:
         Concurrency strategy (Section III-D); only ``STRICT`` changes
         behaviour here (normal-task gating).
+    bus:
+        Optional :class:`repro.obs.events.EventBus`; when attached, the
+        system publishes typed events (alert enqueued/lost, scan steps,
+        unit emissions, state transitions, heal lifecycle).  ``None``
+        (the default) makes every instrumentation site a single ``None``
+        check — no events are built.
+    clock:
+        Zero-argument callable supplying event timestamps; defaults to
+        ``time.monotonic``.  Inject a
+        :class:`repro.obs.tracing.ManualClock` to stamp events with
+        simulated time.
     """
 
     def __init__(
@@ -80,6 +102,8 @@ class SelfHealingSystem:
         alert_buffer: int = 15,
         recovery_buffer: int = 15,
         strategy: RecoveryStrategy = RecoveryStrategy.STRICT,
+        bus: Optional[EventBus] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self._store = store
         self._log = log
@@ -87,8 +111,12 @@ class SelfHealingSystem:
         self._alerts: BoundedQueue[Alert] = BoundedQueue(alert_buffer)
         self._plans: BoundedQueue[RecoveryPlan] = BoundedQueue(recovery_buffer)
         self._strategy = strategy
-        self._analyzer = RecoveryAnalyzer(log, self._specs)
+        self._bus = bus
+        self._clock = clock if clock is not None else _time.monotonic
+        self._analyzer = RecoveryAnalyzer(log, self._specs, bus=bus,
+                                          clock=self._clock)
         self._heals: List[HealReport] = []
+        self._last_state = self.state
 
     # -- observable state ---------------------------------------------------
 
@@ -126,13 +154,43 @@ class SelfHealingSystem:
         """The configured concurrency strategy."""
         return self._strategy
 
+    @property
+    def alert_queue(self) -> BoundedQueue:
+        """The bounded IDS-alert queue (read access for instrumentation)."""
+        return self._alerts
+
+    @property
+    def recovery_queue(self) -> BoundedQueue:
+        """The bounded recovery-plan queue (read access for
+        instrumentation)."""
+        return self._plans
+
+    # -- instrumentation ----------------------------------------------------
+
+    def _note_state(self) -> None:
+        """Publish a StateTransition if the operating state changed."""
+        new = self.state
+        if new is not self._last_state:
+            self._bus.publish(StateTransition(
+                self._clock(), old=self._last_state.value, new=new.value,
+            ))
+            self._last_state = new
+
     # -- the three flows ---------------------------------------------------------
 
     def submit_alert(self, alert: Union[Alert, str]) -> bool:
         """Offer an IDS alert; ``False`` when it was lost (queue full)."""
         if isinstance(alert, str):
             alert = Alert(0.0, alert)
-        return self._alerts.offer(alert)
+        accepted = self._alerts.offer(alert)
+        if self._bus is not None and self._bus.active:
+            cls = AlertEnqueued if accepted else AlertLost
+            self._bus.publish(cls(
+                self._clock(), uid=alert.uid,
+                queue_depth=len(self._alerts),
+            ))
+            self._note_state()
+        return accepted
 
     def scan_step(self) -> Optional[RecoveryPlan]:
         """Let the analyzer process one queued alert.
@@ -148,6 +206,12 @@ class SelfHealingSystem:
             [alert], outstanding=list(self._plans)
         )
         self._plans.push(plan)
+        if self._bus is not None and self._bus.active:
+            self._bus.publish(UnitEmitted(
+                self._clock(), units=plan.units,
+                queue_depth=len(self._plans),
+            ))
+            self._note_state()
         return plan
 
     def recovery_step(self) -> Optional[HealReport]:
@@ -164,9 +228,26 @@ class SelfHealingSystem:
         while self._plans:
             plan = self._plans.pop()
             uids.extend(plan.alert_uids)
-        healer = Healer(self._store, self._log, self._specs)
+        observed = self._bus is not None and self._bus.active
+        started = self._clock() if observed else 0.0
+        if observed:
+            self._bus.publish(HealStarted(started, malicious=tuple(uids)))
+        healer = Healer(self._store, self._log, self._specs,
+                        bus=self._bus, clock=self._clock)
         report = healer.heal(uids)
         self._heals.append(report)
+        if observed:
+            now = self._clock()
+            self._bus.publish(HealFinished(
+                now,
+                undone=len(report.undone),
+                redone=len(report.redone),
+                kept=len(report.kept),
+                abandoned=len(report.abandoned),
+                new_executions=len(report.new_executions),
+                duration=now - started,
+            ))
+            self._note_state()
         return report
 
     def normal_task_admissible(self) -> bool:
@@ -178,7 +259,12 @@ class SelfHealingSystem:
         """
         if not self._strategy.blocks_normal_tasks:
             return True
-        return self.state is SystemState.NORMAL
+        admissible = self.state is SystemState.NORMAL
+        if not admissible and self._bus is not None and self._bus.active:
+            self._bus.publish(NormalTaskRefused(
+                self._clock(), state=self.state.value,
+            ))
+        return admissible
 
     def run_to_quiescence(self, max_steps: int = 100_000) -> SystemState:
         """Drive scan and recovery until the system returns to NORMAL.

@@ -60,3 +60,52 @@ class TestBoundedQueue:
         assert not q.offer("b")
         q.pop()
         assert q.offer("c")
+
+    def test_high_water_tracks_peak_depth(self):
+        q = BoundedQueue(3)
+        assert q.high_water == 0
+        q.offer("a")
+        q.offer("b")
+        q.pop()
+        q.offer("c")
+        assert len(q) == 2
+        assert q.high_water == 2  # never exceeded two at once
+        q.offer("d")
+        assert q.high_water == 3
+
+    def test_rejected_offer_does_not_raise_high_water(self):
+        q = BoundedQueue(1)
+        q.offer("a")
+        q.offer("b")  # lost
+        assert q.high_water == 1
+
+    def test_reset_stats_rebases_at_current_depth(self):
+        q = BoundedQueue(2)
+        q.offer("a")
+        q.offer("b")
+        q.offer("c")  # lost
+        q.pop()
+        q.reset_stats()
+        assert q.lost == 0 and q.accepted == 0
+        assert q.high_water == len(q) == 1  # re-based, not zeroed
+        q.offer("d")
+        assert q.accepted == 1 and q.high_water == 2
+
+    def test_hook_sees_offer_lost_and_pop(self):
+        calls = []
+        q = BoundedQueue(1, hook=lambda op, queue: calls.append(
+            (op, len(queue))))
+        q.offer("a")
+        q.offer("b")  # rejected: full
+        q.pop()
+        assert calls == [("offer", 1), ("lost", 1), ("pop", 0)]
+
+    def test_set_hook_installs_and_removes(self):
+        q = BoundedQueue(2)
+        calls = []
+        q.offer("before")  # no hook yet: unobserved
+        q.set_hook(lambda op, queue: calls.append(op))
+        q.offer("a")
+        q.set_hook(None)
+        q.offer("b")
+        assert calls == ["offer"]

@@ -97,6 +97,107 @@ class TestStgDot:
         assert '"N"' in out
 
 
+class TestObs:
+    def test_figure1_report(self, capsys):
+        assert main(["obs"]) == 0  # figure1 is the default scenario
+        out = capsys.readouterr().out
+        assert "Observed figure1 incident" in out
+        assert "dwell[SCAN] total" in out
+        assert "alert queue high-water" in out
+        assert "alert loss fraction" in out
+        assert "Incident span tree:" in out
+        assert "- incident" in out
+        assert "undo" in out and "redo" in out
+
+    def test_gillespie_comparison_table(self, capsys):
+        assert main(["obs", "--scenario", "gillespie", "--lam", "4",
+                     "--mu1", "6", "--xi1", "8", "--buffer", "3",
+                     "--horizon", "200", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Empirical vs CTMC" in out
+        assert "loss probability" in out
+        assert "P(normal)" in out
+
+    def test_fullstack_scenario(self, capsys):
+        assert main(["obs", "--scenario", "fullstack", "--lam", "2",
+                     "--horizon", "10", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Observed full-stack run" in out
+        assert "heals" in out
+
+    def test_prometheus_dump(self, capsys):
+        assert main(["obs", "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_alerts_lost_total counter" in out
+        assert "repro_alert_queue_depth_high_water" in out
+        assert "repro_state_dwell_time_bucket" in out
+
+    def test_events_to_stdout(self, capsys):
+        import json
+
+        assert main(["obs", "--events", "-"]) == 0
+        out = capsys.readouterr().out
+        jsonl = out.split("Event log (JSONL):\n", 1)[1].strip()
+        events = [json.loads(line) for line in jsonl.splitlines()]
+        assert events[0]["event"] == "AlertEnqueued"
+        assert any(e["event"] == "HealFinished" for e in events)
+
+    def test_events_to_file(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert main(["obs", "--events", str(path)]) == 0
+        assert "events written to" in capsys.readouterr().out
+        assert path.read_text().count("\n") > 10
+
+
+class TestDomainErrorExit:
+    def test_blocked_analyzer_exits_3_with_clean_message(self, capsys):
+        from repro.cli import EXIT_DOMAIN_ERROR
+
+        code = main(["obs", "--alert-buffer", "8", "--buffer", "1",
+                     "--false-alarms", "3"])
+        captured = capsys.readouterr()
+        assert code == EXIT_DOMAIN_ERROR == 3
+        assert captured.err.startswith("error: analyzer blocked")
+        assert "Traceback" not in captured.err
+
+    def test_any_subcommand_maps_recovery_error(self, capsys,
+                                                monkeypatch):
+        """The handler sits in main(), so every subcommand gets the
+        same clean exit — simulate a domain failure inside demo."""
+        import repro.scenarios.figure1 as figure1
+        from repro.errors import RecoveryError
+
+        def boom(*args, **kwargs):
+            raise RecoveryError("undo failed mid-heal")
+
+        monkeypatch.setattr(figure1, "build_figure1", boom)
+        code = main(["demo", "figure1"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.err == "error: undo failed mid-heal\n"
+        assert "Traceback" not in captured.err
+
+    def test_simulation_error_also_mapped(self, capsys):
+        code = main(["obs", "--scenario", "gillespie", "--horizon", "0"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.err == "error: horizon must be > 0, got 0.0\n"
+        assert "Traceback" not in captured.err
+
+    def test_scheduling_error_also_mapped(self, capsys, monkeypatch):
+        import repro.scenarios.figure1 as figure1
+        from repro.errors import SchedulingError
+
+        def boom(*args, **kwargs):
+            raise SchedulingError("no admissible order")
+
+        monkeypatch.setattr(figure1, "build_figure1", boom)
+        code = main(["demo", "figure1"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.err == "error: no admissible order\n"
+
+
 class TestWorkflowDot:
     def test_renders_document_file(self, capsys, tmp_path):
         from repro.workflow.serialize import TaskDocument, WorkflowDocument

@@ -1,0 +1,84 @@
+"""Unit tests for the observability exporters."""
+
+import json
+
+from repro.obs.events import AlertEnqueued, AlertLost, HealStarted
+from repro.obs.export import events_to_jsonl, metrics_table, render_prometheus
+from repro.obs.metrics import MetricsRegistry, PipelineMetrics
+
+
+class TestEventsToJsonl:
+    def test_one_compact_object_per_line(self):
+        text = events_to_jsonl([
+            AlertEnqueued(0.5, uid="w/t1#1", queue_depth=1),
+            AlertLost(1.0, uid="w/t2#1", queue_depth=8),
+        ])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"event": "AlertEnqueued", "time": 0.5,
+                         "uid": "w/t1#1", "queue_depth": 1}
+        assert " " not in lines[0]  # compact separators
+
+    def test_tuple_fields_serialize_as_lists(self):
+        (line,) = events_to_jsonl(
+            [HealStarted(2.0, malicious=("a", "b"))]
+        ).splitlines()
+        assert json.loads(line)["malicious"] == ["a", "b"]
+
+    def test_empty_stream(self):
+        assert events_to_jsonl([]) == ""
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_exposition(self):
+        r = MetricsRegistry()
+        r.counter("repro_demo_total", help="demo counter").inc(3)
+        g = r.gauge("repro_depth", help="demo gauge")
+        g.set(5)
+        g.set(2)
+        text = render_prometheus(r)
+        assert "# HELP repro_demo_total demo counter" in text
+        assert "# TYPE repro_demo_total counter" in text
+        assert "repro_demo_total 3" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 2" in text
+        assert "repro_depth_high_water 5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        r = MetricsRegistry()
+        h = r.histogram("repro_cost", buckets=(1.0, 5.0))
+        for v in (0.5, 0.7, 3.0, 99.0):
+            h.observe(v)
+        text = render_prometheus(r)
+        assert 'repro_cost_bucket{le="1"} 2' in text
+        assert 'repro_cost_bucket{le="5"} 3' in text
+        assert 'repro_cost_bucket{le="+Inf"} 4' in text
+        assert "repro_cost_sum 103.2" in text
+        assert "repro_cost_count 4" in text
+
+    def test_labeled_family_shares_one_header(self):
+        r = MetricsRegistry()
+        r.histogram("repro_dwell", buckets=(1.0,),
+                    labels={"state": "SCAN"}).observe(0.5)
+        r.histogram("repro_dwell", buckets=(1.0,),
+                    labels={"state": "NORMAL"}).observe(0.5)
+        text = render_prometheus(r)
+        assert text.count("# TYPE repro_dwell histogram") == 1
+        assert 'repro_dwell_bucket{state="NORMAL",le="1"} 1' in text
+        assert 'repro_dwell_bucket{state="SCAN",le="1"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestMetricsTable:
+    def test_table_has_summary_rows(self):
+        m = PipelineMetrics()
+        m.start(0.0, state="NORMAL")
+        m(AlertLost(0.5, uid="a", queue_depth=1))
+        m.finalize(1.0)
+        text = metrics_table(m, title="demo metrics").render()
+        assert "demo metrics" in text
+        assert "alerts lost" in text
+        assert "dwell[NORMAL] total" in text

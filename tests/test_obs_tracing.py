@@ -1,0 +1,106 @@
+"""Unit tests for the span tracer and its injectable clocks."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.tracing import ManualClock, Span, Tracer, render_span_tree
+
+
+class TestManualClock:
+    def test_starts_and_advances(self):
+        clock = ManualClock(10.0)
+        assert clock() == 10.0 and clock.now == 10.0
+        assert clock.advance(2.5) == 12.5
+        assert clock() == 12.5
+
+    def test_set_absolute(self):
+        clock = ManualClock()
+        clock.set(4.0)
+        assert clock.now == 4.0
+
+    def test_rejects_backward_motion(self):
+        clock = ManualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+
+class TestTracer:
+    def test_wall_clock_default(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        (root,) = tracer.roots
+        assert root.finished and root.duration >= 0.0
+
+    def test_nesting_builds_tree(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("incident") as root:
+            clock.advance(1.0)
+            with tracer.span("scan", step=1):
+                clock.advance(2.0)
+            with tracer.span("heal"):
+                clock.advance(3.0)
+        assert tracer.roots == [root]
+        assert [c.name for c in root.children] == ["scan", "heal"]
+        assert root.duration == pytest.approx(6.0)
+        assert root.children[0].duration == pytest.approx(2.0)
+        assert root.children[1].duration == pytest.approx(3.0)
+        assert root.children[0].attributes == {"step": 1}
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer(ManualClock())
+        assert tracer.current is None
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        assert tracer.current is inner
+        tracer.end_span(inner)
+        assert tracer.current is outer
+
+    def test_span_closed_on_exception(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        (root,) = tracer.roots
+        assert root.finished and root.duration == pytest.approx(1.0)
+        assert tracer.current is None
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(ReproError):
+            Tracer(ManualClock()).end_span()
+
+    def test_out_of_order_end_raises_and_preserves_stack(self):
+        tracer = Tracer(ManualClock())
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        with pytest.raises(ReproError, match="nesting"):
+            tracer.end_span(outer)
+        assert tracer.current is inner  # stack unchanged by the error
+
+    def test_set_attribute(self):
+        span = Span("s", 0.0)
+        span.set_attribute("tasks", 7)
+        assert span.attributes == {"tasks": 7}
+
+
+class TestRenderSpanTree:
+    def test_renders_durations_depth_and_attrs(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("incident", scenario="figure1"):
+            with tracer.span("scan"):
+                clock.advance(0.5)
+        text = render_span_tree(tracer.roots)
+        lines = text.splitlines()
+        assert lines[0] == "- incident (0.5)  [scenario=figure1]"
+        assert lines[1] == "  - scan (0.5)"
+
+    def test_unfinished_span_rendered_open(self):
+        tracer = Tracer(ManualClock())
+        tracer.start_span("pending")
+        assert "(open)" in render_span_tree(tracer.roots)

@@ -52,6 +52,64 @@ class TestSimulator:
             pass
         assert fired == ["keep"]
 
+    def test_lazy_deletion_skips_cancelled_head_in_one_step(self):
+        """A cancelled event stays in the heap until popped; one step()
+        must discard it silently and fire the next live event."""
+        sim = Simulator()
+        fired = []
+        dead = sim.schedule(0.5, lambda: fired.append("dead"))
+        sim.schedule(1.0, lambda: fired.append("live"))
+        dead.cancel()
+        assert sim.pending == 1  # the cancelled head is not pending
+        assert sim.step()  # single step: pops dead, fires live
+        assert fired == ["live"]
+        assert sim.events_fired == 1  # the skipped event is not counted
+        assert sim.now == 1.0  # the clock never visits the dead time
+
+    def test_step_false_when_only_cancelled_events_remain(self):
+        sim = Simulator()
+        fired = []
+        for delay in (0.5, 1.0, 1.5):
+            sim.schedule(delay, lambda: fired.append(delay)).cancel()
+        assert not sim.step()
+        assert fired == [] and sim.events_fired == 0
+        assert sim.now == 0.0
+
+    def test_cancel_after_pop_order_is_established(self):
+        """Cancelling mid-run: an event cancelled by an earlier event's
+        action must not fire even though it is already in the heap."""
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(2.0, lambda: fired.append("victim"))
+        sim.schedule(1.0, lambda: victim.cancel())
+        sim.run_until(10.0)
+        assert fired == []
+        assert sim.events_fired == 1
+
+    def test_run_until_discards_cancelled_without_counting(self):
+        """Lazily-deleted events must not count against max_events."""
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(0.5, lambda: None).cancel()
+        live = []
+        sim.schedule(1.0, lambda: live.append(sim.now))
+        sim.run_until(2.0, max_events=1)  # budget covers the live one only
+        assert live == [1.0]
+        assert sim.pending == 0
+
+    def test_observer_sees_fired_events_not_cancelled_ones(self):
+        sim = Simulator()
+        seen = []
+        sim.set_observer(lambda event: seen.append(event.label))
+        sim.schedule(0.5, lambda: None, label="dead").cancel()
+        sim.schedule(1.0, lambda: None, label="live")
+        sim.run_until(2.0)
+        assert seen == ["live"]
+        sim.set_observer(None)
+        sim.schedule(3.0, lambda: None, label="unobserved")
+        sim.run_until(4.0)
+        assert seen == ["live"]
+
     def test_run_until_leaves_future_events(self):
         sim = Simulator()
         fired = []
