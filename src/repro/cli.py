@@ -56,6 +56,27 @@ def _stg_from_args(args) -> RecoverySTG:
     )
 
 
+def _backend_from_args(args):
+    backend = getattr(args, "backend", "auto")
+    return None if backend == "auto" else backend
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: strictly positive integer (exit code 2 on
+    violation, like any other argparse type error)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
 def _add_model_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--lam", type=float, default=1.0,
                    help="IDS alert arrival rate λ (default 1.0)")
@@ -70,6 +91,10 @@ def _add_model_args(p: argparse.ArgumentParser) -> None:
                    help="recovery-task buffer size (default 15)")
     p.add_argument("--alert-buffer", type=int, default=None,
                    help="alert buffer size (default: same as --buffer)")
+    p.add_argument("--backend", choices=["auto", "dense", "sparse"],
+                   default="auto",
+                   help="CTMC solver backend (default auto: dense for "
+                        "small STGs, sparse for large ones)")
 
 
 def cmd_demo(args) -> int:
@@ -128,7 +153,7 @@ def cmd_demo(args) -> int:
 def cmd_steady(args) -> int:
     """Steady-state analysis of one configuration (Equation 1)."""
     stg = _stg_from_args(args)
-    pi = steady_state(stg.ctmc())
+    pi = steady_state(stg.ctmc(), backend=_backend_from_args(args))
     cats = category_probabilities(stg, pi)
     table = Table(f"Steady state of {stg!r}", ["metric", "value"])
     for cat in StateCategory:
@@ -151,7 +176,9 @@ def cmd_transient(args) -> int:
          "E[lost alerts]"],
     )
     for t in args.t:
-        pi_t = transient_probabilities(chain, pi0, t)
+        pi_t = transient_probabilities(
+            chain, pi0, t, backend=_backend_from_args(args)
+        )
         cats = category_probabilities(stg, pi_t)
         table.add_row(
             t,
@@ -197,14 +224,55 @@ def cmd_design(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    """Exact Gillespie simulation of the configured STG."""
+    """Exact Gillespie simulation of the configured STG.
+
+    With ``--replications N`` (N > 1) the run becomes a batch of
+    independent seeded replications, fanned out over ``--workers K``
+    worker processes (K=1 runs inline, no pool) and merged; the
+    printed occupancies are then means over replications and the loss
+    probability carries a standard error.
+    """
+    stg = _stg_from_args(args)
+    backend = _backend_from_args(args)
+    pi = steady_state(stg.ctmc(), backend=backend)
+    cats = category_probabilities(stg, pi)
+
+    if args.replications > 1:
+        from repro.sim.batch import run_gillespie_batch
+
+        batch = run_gillespie_batch(
+            stg, horizon=args.horizon, replications=args.replications,
+            workers=args.workers, seed=args.seed,
+        )
+        table = Table(
+            f"Gillespie batch of {stg!r} (horizon {args.horizon:g}, "
+            f"{args.replications} replications, {args.workers} "
+            f"worker{'s' if args.workers != 1 else ''}, seed "
+            f"{args.seed})",
+            ["metric", "analytic", "simulated"],
+        )
+        occ = batch.category_occupancy
+        for cat in StateCategory:
+            table.add_row(f"P({cat.value})", cats[cat],
+                          occ.get(cat, 0.0))
+        table.add_row("loss probability", loss_probability(stg, pi),
+                      batch.loss_time_fraction)
+        print(table.render())
+        print(f"\nloss probability stderr: "
+              f"{batch.loss_time_stderr:.3e} over "
+              f"{batch.replications} replications")
+        print(f"alerts: {batch.arrivals} generated, "
+              f"{batch.arrivals_lost} lost "
+              f"({batch.alert_loss_fraction:.2%}); {batch.jumps} jumps")
+        print(f"batch wall time: {batch.elapsed:.2f}s "
+              f"(sum of replication times "
+              f"{sum(batch.wall_times):.2f}s)")
+        return 0
+
     from repro.sim.ctmc_sim import GillespieSimulator
 
-    stg = _stg_from_args(args)
     sim = GillespieSimulator(stg, random.Random(args.seed))
     result = sim.run(horizon=args.horizon)
-    pi = steady_state(stg.ctmc())
-    cats = category_probabilities(stg, pi)
     table = Table(
         f"Gillespie simulation of {stg!r} (horizon {args.horizon:g}, "
         f"seed {args.seed})",
@@ -398,6 +466,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(p)
     p.add_argument("--horizon", type=float, default=10_000.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replications", type=_positive_int, default=1,
+                   help="independent replications to run and merge "
+                        "(default 1: a single trajectory)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="worker processes for the replication batch "
+                        "(default 1: run inline, no pool)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("obs", help=cmd_obs.__doc__)

@@ -15,8 +15,17 @@ Implements Sections IV-C through VI of the paper:
 - :mod:`repro.markov.metrics` — loss probability (Definition 3),
   ε-convergence (Definition 4), expected queue lengths;
 - :mod:`repro.markov.design` — the Section VI design-guideline
-  procedure.
+  procedure;
+- :mod:`repro.markov.backend` — dense/sparse solver backend selection
+  (auto by state count, explicit override, loud failure when scipy is
+  missing).
 """
+
+from repro.markov.backend import (
+    SPARSE_AUTO_THRESHOLD,
+    resolve_backend,
+    sparse_available,
+)
 
 from repro.markov.calibration import (
     PowerLawFit,
@@ -64,6 +73,9 @@ from repro.markov.transient import (
 
 __all__ = [
     "CTMC",
+    "SPARSE_AUTO_THRESHOLD",
+    "resolve_backend",
+    "sparse_available",
     "RateFunction",
     "constant",
     "inverse_k",

@@ -1,0 +1,118 @@
+"""Numerical backend selection for the CTMC solvers.
+
+The paper's evaluation (Figures 4–6) sweeps λ/μ/ξ and buffer sizes over
+the ``(alerts, units)`` state-transition graph.  Small STGs (the paper's
+16×16 default) are served perfectly well by dense linear algebra, but
+production buffer sizes push the chain into thousands of states where a
+dense ``O(n²)`` generator — with only ~3 transitions per state — wastes
+both memory and solve time.  Every solver therefore accepts a
+
+    ``backend: Optional[str]``
+
+argument with three values:
+
+- ``None`` (default) — *auto*: dense below
+  :data:`SPARSE_AUTO_THRESHOLD` states, sparse (scipy CSR) at or above
+  it **when scipy is importable**; without scipy, auto quietly stays
+  dense, which is always correct, merely slower;
+- ``"dense"`` — force the dense path (used by the differential tests
+  and as the numerical reference);
+- ``"sparse"`` — force the sparse path.  If scipy is missing this
+  raises :class:`~repro.errors.ModelError` with an install hint — an
+  explicit request for the fast path must never silently degrade into
+  the slow one.
+
+The same contract is shared by ``steady_state``, ``transient_*``, the
+passage-time solvers, and :meth:`repro.markov.ctmc.CTMC.sparse_generator`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Optional, Tuple
+
+from repro.errors import ModelError
+
+__all__ = [
+    "SPARSE_AUTO_THRESHOLD",
+    "sparse_available",
+    "require_scipy_sparse",
+    "resolve_backend",
+]
+
+#: State count at which *auto* backend selection switches to sparse.
+#: The paper's default 16×16 STG (256 states) stays dense; anything
+#: larger — the production sweeps — goes sparse.
+SPARSE_AUTO_THRESHOLD = 400
+
+
+def _import_sparse():
+    """Import hook for ``scipy.sparse`` (monkeypatchable in tests)."""
+    return importlib.import_module("scipy.sparse")
+
+
+def _import_sparse_linalg():
+    """Import hook for ``scipy.sparse.linalg`` (monkeypatchable)."""
+    return importlib.import_module("scipy.sparse.linalg")
+
+
+def sparse_available() -> bool:
+    """``True`` when scipy's sparse stack can be imported."""
+    try:
+        _import_sparse()
+        _import_sparse_linalg()
+    except ImportError:
+        return False
+    return True
+
+
+def require_scipy_sparse() -> Tuple[object, object]:
+    """Return ``(scipy.sparse, scipy.sparse.linalg)`` or raise.
+
+    Raises
+    ------
+    ModelError
+        When scipy is not importable.  The message carries an install
+        hint so an explicit ``backend="sparse"`` request fails loudly
+        instead of silently running the dense fallback.
+    """
+    try:
+        return _import_sparse(), _import_sparse_linalg()
+    except ImportError as exc:
+        raise ModelError(
+            "backend='sparse' requires scipy, which is not installed "
+            "or not importable — install it with `pip install scipy` "
+            "or use backend='dense' / backend=None (auto)"
+        ) from exc
+
+
+def resolve_backend(n_states: int, backend: Optional[str] = None) -> str:
+    """Resolve a user-facing ``backend`` argument to ``'dense'`` or
+    ``'sparse'``.
+
+    Parameters
+    ----------
+    n_states:
+        Size of the chain the solver is about to process.
+    backend:
+        ``None`` (auto), ``"dense"``, or ``"sparse"``.
+
+    Raises
+    ------
+    ModelError
+        For an unknown backend name, or for an explicit ``"sparse"``
+        request when scipy is missing.
+    """
+    if backend is None:
+        if n_states >= SPARSE_AUTO_THRESHOLD and sparse_available():
+            return "sparse"
+        return "dense"
+    if backend == "dense":
+        return "dense"
+    if backend == "sparse":
+        require_scipy_sparse()
+        return "sparse"
+    raise ModelError(
+        f"unknown backend {backend!r}: expected 'dense', 'sparse' or "
+        "None (auto)"
+    )

@@ -37,6 +37,7 @@ from repro.sim.workload import WorkloadConfig, WorkloadGenerator
 
 __all__ = [
     "PowerLawFit",
+    "clear_calibration_cache",
     "fit_power_law",
     "measure_scan_rates",
     "measure_recovery_rates",
@@ -103,7 +104,24 @@ def _timed(fn: Callable[[], None], repeats: int) -> float:
     return best
 
 
+# Building an attacked pipeline (generate a workload, run it with a
+# campaign, collect the log) dominates calibration time, and sweeps
+# call measure_scan_rates / measure_recovery_rates repeatedly with the
+# same seed.  The result is memoized per (seed, n_attacks, tasks); the
+# cached log/specs are only *read* by the analyzers built on top.
+_PIPELINE_CACHE: Dict[Tuple[int, int, int], Tuple[object, object]] = {}
+
+
+def clear_calibration_cache() -> None:
+    """Drop memoized attacked pipelines (for tests and long sessions)."""
+    _PIPELINE_CACHE.clear()
+
+
 def _attacked_pipeline(seed: int, n_attacks: int, tasks: int = 10):
+    key = (seed, n_attacks, tasks)
+    cached = _PIPELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
     gen = WorkloadGenerator(
         WorkloadConfig(n_workflows=4, tasks_per_workflow=tasks,
                        branch_probability=0.3),
@@ -112,6 +130,7 @@ def _attacked_pipeline(seed: int, n_attacks: int, tasks: int = 10):
     workload = gen.generate()
     campaign = gen.pick_attacks(workload, n_attacks=n_attacks)
     result = run_pipeline(workload, campaign, heal=False, seed=seed)
+    _PIPELINE_CACHE[key] = (workload, result)
     return workload, result
 
 

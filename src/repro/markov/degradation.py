@@ -14,6 +14,7 @@ This module provides the standard families used in the evaluation
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Dict, Tuple
 
 __all__ = [
@@ -62,9 +63,34 @@ class RateFunction:
         return RateFunction(self.name, base, self.fn)
 
 
+# The standard families use module-level functions (plus functools
+# partials for parameterized ones) rather than lambdas so a RateFunction
+# — and any RecoverySTG holding one — pickles cleanly across the
+# process-pool boundary of repro.sim.batch.
+
+def _constant_fn(b: float, k: int) -> float:
+    return b
+
+
+def _inverse_k_fn(b: float, k: int) -> float:
+    return b / k
+
+
+def _power_law_fn(alpha: float, b: float, k: int) -> float:
+    return b / (k ** alpha)
+
+
+def _geometric_fn(ratio: float, b: float, k: int) -> float:
+    return b * ratio ** (k - 1)
+
+
+def _linear_decay_fn(step: float, floor: float, b: float, k: int) -> float:
+    return max(b - step * (k - 1), floor)
+
+
 def constant(base: float) -> RateFunction:
     """No degradation: ``rate_k = rate_1`` for all ``k``."""
-    return RateFunction("const", base, lambda b, k: b)
+    return RateFunction("const", base, _constant_fn)
 
 
 def inverse_k(base: float) -> RateFunction:
@@ -73,14 +99,14 @@ def inverse_k(base: float) -> RateFunction:
     Matches an analyzer/scheduler whose per-item cost grows linearly
     with queue length (the realistic case the paper emphasizes).
     """
-    return RateFunction("1/k", base, lambda b, k: b / k)
+    return RateFunction("1/k", base, _inverse_k_fn)
 
 
 def power_law(base: float, alpha: float) -> RateFunction:
     """``rate_k = rate_1 / k^alpha``; ``alpha`` ≈ 0 is "very slow"
     degradation (Figure 4(a)), ``alpha = 1`` is :func:`inverse_k`."""
     return RateFunction(
-        f"1/k^{alpha:g}", base, lambda b, k: b / (k ** alpha)
+        f"1/k^{alpha:g}", base, partial(_power_law_fn, alpha)
     )
 
 
@@ -89,15 +115,14 @@ def geometric(base: float, ratio: float) -> RateFunction:
     if not 0 < ratio <= 1:
         raise ValueError(f"ratio must be in (0, 1], got {ratio}")
     return RateFunction(
-        f"geo{ratio:g}", base, lambda b, k: b * ratio ** (k - 1)
+        f"geo{ratio:g}", base, partial(_geometric_fn, ratio)
     )
 
 
 def linear_decay(base: float, step: float, floor: float = 1e-3) -> RateFunction:
     """``rate_k = max(rate_1 - step*(k-1), floor)``."""
     return RateFunction(
-        f"lin-{step:g}", base,
-        lambda b, k: max(b - step * (k - 1), floor),
+        f"lin-{step:g}", base, partial(_linear_decay_fn, step, floor)
     )
 
 

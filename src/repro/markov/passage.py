@@ -12,15 +12,23 @@ plotting needed:
 where ``h(i)`` is the expected hitting time of the target set from
 state ``i``.  The same machinery answers "how long does a recovery
 excursion last" (hitting NORMAL from an attacked state).
+
+The linear solves follow the shared backend contract
+(:mod:`repro.markov.backend`): dense ``numpy.linalg.solve`` or sparse
+``scipy.sparse.linalg.spsolve`` on the restricted generator.
+Reachability of the target set is computed with a BFS over the reversed
+transition graph — ``O(states + transitions)`` — under either backend.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ModelError, NotConvergedError
+from repro.markov.backend import require_scipy_sparse, resolve_backend
 from repro.markov.ctmc import CTMC
 from repro.markov.stg import RecoverySTG, State
 
@@ -33,9 +41,28 @@ __all__ = [
 ]
 
 
+def _states_reaching(chain: CTMC, targets: Iterable[int]) -> set:
+    """Every state from which the target set is reachable: BFS from the
+    targets over reversed transitions."""
+    rows, cols, _ = chain.transitions()
+    predecessors: List[List[int]] = [[] for _ in range(chain.n_states)]
+    for src, dst in zip(rows, cols):
+        predecessors[dst].append(int(src))
+    reaching = set(targets)
+    frontier = deque(reaching)
+    while frontier:
+        node = frontier.popleft()
+        for pred in predecessors[node]:
+            if pred not in reaching:
+                reaching.add(pred)
+                frontier.append(pred)
+    return reaching
+
+
 def expected_hitting_times(
     chain: CTMC,
     targets: Iterable,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Expected time to first reach ``targets`` from every state.
 
@@ -51,24 +78,13 @@ def expected_hitting_times(
     if not target_idx:
         raise ModelError("need at least one target state")
     n = chain.n_states
-    q = chain.generator
+    mode = resolve_backend(n, backend)
     rest = [i for i in range(n) if i not in target_idx]
     h = np.zeros(n)
     if not rest:
         return h
 
-    # Determine which non-target states can reach the target set.
-    adjacency = q > 0
-    reaching = set(target_idx)
-    changed = True
-    while changed:
-        changed = False
-        for i in rest:
-            if i in reaching:
-                continue
-            if any(adjacency[i, j] for j in reaching):
-                reaching.add(i)
-                changed = True
+    reaching = _states_reaching(chain, target_idx)
     unreachable = [i for i in rest if i not in reaching]
     solvable = [i for i in rest if i in reaching]
     for i in unreachable:
@@ -76,14 +92,23 @@ def expected_hitting_times(
     if not solvable:
         return h
 
-    sub = q[np.ix_(solvable, solvable)]
     rhs = -np.ones(len(solvable))
     try:
-        sol = np.linalg.solve(sub, rhs)
+        if mode == "sparse":
+            _, spla = require_scipy_sparse()
+            q = chain.sparse_generator()
+            sub = q[solvable, :][:, solvable].tocsc()
+            sol = spla.spsolve(sub, rhs)
+        else:
+            sub = chain.generator[np.ix_(solvable, solvable)]
+            sol = np.linalg.solve(sub, rhs)
     except np.linalg.LinAlgError as exc:
         raise NotConvergedError(
             f"hitting-time system is singular: {exc}"
         ) from exc
+    sol = np.asarray(sol, dtype=float)
+    if not np.isfinite(sol).all():
+        raise NotConvergedError("hitting-time system is singular")
     if (sol < -1e-9).any():
         raise NotConvergedError(
             "hitting-time solution has negative entries"
@@ -98,6 +123,7 @@ def hitting_time_cdf(
     targets: Iterable,
     start,
     times: Sequence[float],
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """``P(T ≤ t)`` for the first-passage time ``T`` into ``targets``.
 
@@ -114,24 +140,43 @@ def hitting_time_cdf(
         Starting state (must not be a target).
     times:
         Evaluation times (each ≥ 0).
+    backend:
+        Dense evaluates ``expm(Q_s t)``; sparse applies
+        ``expm_multiply`` to the start vector without forming the
+        exponential.
     """
-    from scipy.linalg import expm
-
     target_idx = {chain.index_of(t) for t in targets}
     if not target_idx:
         raise ModelError("need at least one target state")
     start_idx = chain.index_of(start)
     if start_idx in target_idx:
         return np.ones(len(list(times)))
+    mode = resolve_backend(chain.n_states, backend)
     rest = [i for i in range(chain.n_states) if i not in target_idx]
-    sub = chain.generator[np.ix_(rest, rest)]
     pos = rest.index(start_idx)
     e = np.zeros(len(rest))
     e[pos] = 1.0
-    out = []
     for t in times:
         if t < 0:
             raise ModelError(f"time must be >= 0, got {t}")
+
+    if mode == "sparse":
+        _, spla = require_scipy_sparse()
+        q = chain.sparse_generator()
+        sub_t = q[rest, :][:, rest].transpose().tocsc()
+        out = []
+        for t in times:
+            surv = float(
+                np.asarray(spla.expm_multiply(sub_t * t, e)).sum()
+            )
+            out.append(min(max(1.0 - surv, 0.0), 1.0))
+        return np.array(out)
+
+    from scipy.linalg import expm
+
+    sub = chain.generator[np.ix_(rest, rest)]
+    out = []
+    for t in times:
         surv = float(e @ expm(sub * t) @ np.ones(len(rest)))
         out.append(min(max(1.0 - surv, 0.0), 1.0))
     return np.array(out)
@@ -141,6 +186,7 @@ def survival_probability(
     stg: RecoverySTG,
     t: float,
     start: Optional[State] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Probability the system loses **no** alert during ``[0, t]``.
 
@@ -150,19 +196,21 @@ def survival_probability(
     """
     chain = stg.ctmc()
     s = start if start is not None else stg.normal_state
-    cdf = hitting_time_cdf(chain, stg.loss_states(), s, [t])
+    cdf = hitting_time_cdf(chain, stg.loss_states(), s, [t],
+                           backend=backend)
     return float(1.0 - cdf[0])
 
 
 def mean_time_to_loss(
     stg: RecoverySTG,
     start: Optional[State] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Expected time until the alert buffer first fills, starting from
     ``start`` (default NORMAL) — the exact version of Case 6's
     "resists about 5 time-units" reading."""
     chain = stg.ctmc()
-    h = expected_hitting_times(chain, stg.loss_states())
+    h = expected_hitting_times(chain, stg.loss_states(), backend=backend)
     s = start if start is not None else stg.normal_state
     return float(h[chain.index_of(s)])
 
@@ -170,6 +218,7 @@ def mean_time_to_loss(
 def mean_recovery_excursion(
     stg: RecoverySTG,
     start: State,
+    backend: Optional[str] = None,
 ) -> float:
     """Expected time to return to NORMAL from ``start``.
 
@@ -177,5 +226,6 @@ def mean_recovery_excursion(
     expected duration of the scan+recovery excursion the burst causes.
     """
     chain = stg.ctmc()
-    h = expected_hitting_times(chain, [stg.normal_state])
+    h = expected_hitting_times(chain, [stg.normal_state],
+                               backend=backend)
     return float(h[chain.index_of(start)])

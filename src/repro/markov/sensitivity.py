@@ -61,6 +61,9 @@ def _metric_at(
     alpha: float,
     metric: Callable[[RecoverySTG], float],
 ) -> float:
+    # Each evaluation builds a fresh STG, but generator assembly hits
+    # the per-shape structure cache in repro.markov.stg — a sweep over
+    # λ/μ/ξ only refills rate values, never rebuilds the pattern.
     stg = RecoverySTG(
         arrival_rate=lam,
         scan=power_law(mu1, alpha),
@@ -117,11 +120,19 @@ def loss_sensitivities(
     buffer_size: int = 15,
     alpha: float = 1.0,
     rel_step: float = 0.05,
+    backend: Optional[str] = None,
 ) -> List[Sensitivity]:
-    """Elasticities of the steady-state **loss probability**."""
+    """Elasticities of the steady-state **loss probability**.
+
+    ``backend`` is forwarded to every
+    :func:`~repro.markov.steady_state.steady_state` solve of the sweep
+    (``None`` = auto by state count).
+    """
 
     def metric(stg: RecoverySTG) -> float:
-        return loss_probability(stg, steady_state(stg.ctmc()))
+        return loss_probability(
+            stg, steady_state(stg.ctmc(), backend=backend)
+        )
 
     return _sensitivities(lam, mu1, xi1, buffer_size, alpha, metric,
                           rel_step)
@@ -134,11 +145,17 @@ def normal_sensitivities(
     buffer_size: int = 15,
     alpha: float = 1.0,
     rel_step: float = 0.05,
+    backend: Optional[str] = None,
 ) -> List[Sensitivity]:
-    """Elasticities of the steady-state **P(NORMAL)**."""
+    """Elasticities of the steady-state **P(NORMAL)**.
+
+    ``backend`` selects the steady-state solver path for every
+    evaluation in the sweep, exactly as in
+    :func:`loss_sensitivities`.
+    """
 
     def metric(stg: RecoverySTG) -> float:
-        pi = steady_state(stg.ctmc())
+        pi = steady_state(stg.ctmc(), backend=backend)
         return category_probabilities(stg, pi)[StateCategory.NORMAL]
 
     return _sensitivities(lam, mu1, xi1, buffer_size, alpha, metric,

@@ -57,6 +57,74 @@ from repro.markov.degradation import RateFunction, inverse_k
 __all__ = ["State", "StateCategory", "RecoverySTG"]
 
 
+# -- structure cache ---------------------------------------------------------
+#
+# The *pattern* of STG transitions (which (src, dst) pairs exist, and
+# whether each is an arrival / scan / recovery edge with which queue
+# length) depends only on the buffer shape (A, R) — never on λ, μ, ξ.
+# Parameter sweeps (Figures 4–6, sensitivity analysis, calibration)
+# rebuild the generator thousands of times over a handful of shapes, so
+# the pattern is computed once per shape and every rebuild is just a
+# vectorized fill of the rate values into pre-sized triplet arrays.
+
+_ARRIVAL, _SCAN, _RECOVERY = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class _STGStructure:
+    """Transition pattern of an (A, R)-shaped STG, alert-major order."""
+
+    rows: np.ndarray   # source state indices
+    cols: np.ndarray   # destination state indices
+    kind: np.ndarray   # _ARRIVAL / _SCAN / _RECOVERY per edge
+    k: np.ndarray      # queue-length argument of the rate schedule
+
+
+_STRUCTURE_CACHE: Dict[Tuple[int, int], _STGStructure] = {}
+
+
+def _stg_structure(alert_buffer: int, recovery_buffer: int) -> _STGStructure:
+    """The (cached) transition pattern for buffer shape ``(A, R)``."""
+    key = (alert_buffer, recovery_buffer)
+    cached = _STRUCTURE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    A, R = alert_buffer, recovery_buffer
+    rows: List[int] = []
+    cols: List[int] = []
+    kind: List[int] = []
+    ks: List[int] = []
+
+    def idx(a: int, r: int) -> int:
+        return a * (R + 1) + r
+
+    for a in range(A + 1):
+        for r in range(R + 1):
+            if a < A:
+                rows.append(idx(a, r))
+                cols.append(idx(a + 1, r))
+                kind.append(_ARRIVAL)
+                ks.append(0)
+            if a > 0 and r < R:
+                rows.append(idx(a, r))
+                cols.append(idx(a - 1, r + 1))
+                kind.append(_SCAN)
+                ks.append(a)
+            if r > 0 and (a == 0 or r == R):
+                rows.append(idx(a, r))
+                cols.append(idx(a, r - 1))
+                kind.append(_RECOVERY)
+                ks.append(r)
+    structure = _STGStructure(
+        rows=np.asarray(rows, dtype=np.int64),
+        cols=np.asarray(cols, dtype=np.int64),
+        kind=np.asarray(kind, dtype=np.int64),
+        k=np.asarray(ks, dtype=np.int64),
+    )
+    _STRUCTURE_CACHE[key] = structure
+    return structure
+
+
 class StateCategory(str, Enum):
     """The paper's three state families."""
 
@@ -191,10 +259,47 @@ class RecoverySTG:
         return rates
 
     def ctmc(self) -> CTMC:
-        """The STG as a :class:`~repro.markov.ctmc.CTMC` (cached)."""
+        """The STG as a :class:`~repro.markov.ctmc.CTMC` (cached).
+
+        Generator assembly reuses the per-shape transition pattern from
+        the module structure cache: only the rate *values* are filled
+        in, vectorized, so λ/μ/ξ sweeps at a fixed buffer shape never
+        rebuild the pattern from scratch.
+        """
         if self._ctmc is None:
-            self._ctmc = CTMC.from_rates(self._states, self.transition_rates())
+            structure = _stg_structure(self._A, self._R)
+            vals = np.empty(structure.kind.shape, dtype=float)
+            vals[structure.kind == _ARRIVAL] = self._lambda
+            # Rate schedules are evaluated once per queue length (the
+            # only thing they can depend on), then gathered per edge.
+            mu_tab = np.zeros(self._A + 1)
+            for a in range(1, self._A + 1):
+                mu_tab[a] = self._scan(a)
+            xi_tab = np.zeros(self._R + 1)
+            for r in range(1, self._R + 1):
+                xi_tab[r] = self._recovery(r)
+            scan_mask = structure.kind == _SCAN
+            rec_mask = structure.kind == _RECOVERY
+            vals[scan_mask] = mu_tab[structure.k[scan_mask]]
+            vals[rec_mask] = xi_tab[structure.k[rec_mask]]
+            keep = vals > 0
+            self._ctmc = CTMC._from_triplets(
+                self._states,
+                structure.rows[keep],
+                structure.cols[keep],
+                vals[keep],
+            )
         return self._ctmc
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the cached CTMC: replication workers rebuild it locally
+        (cheap, thanks to the structure cache) instead of shipping the
+        whole generator through the process-pool pipe."""
+        state = dict(self.__dict__)
+        state["_ctmc"] = None
+        return state
 
     # -- state sets -------------------------------------------------------------
 

@@ -10,21 +10,30 @@ Equation 3 (cumulative expected time spent in each state by ``t``)::
 
 Two solvers are provided for Equation 2: *uniformization* (the standard
 numerically-robust method, with a rigorous truncation bound) and the
-dense matrix exponential (``scipy.linalg.expm``), used to cross-check.
-Equation 3 is solved exactly with an augmented matrix exponential:
-with ``M = [[Q, 0], [I, 0]]`` and ``y(0) = [l(0), π(0)] = [0, π(0)]``,
-``y(t) = y(0) e^{Mt}`` gives ``l(t)`` in its first block.
+matrix exponential, used to cross-check.  Equation 3 is solved exactly
+with an augmented matrix exponential: with ``M = [[Q, 0], [I, 0]]`` and
+``y(0) = [l(0), π(0)] = [0, π(0)]``, ``y(t) = y(0) e^{Mt}`` gives
+``l(t)`` in its first block.
+
+Every solver takes the common ``backend`` argument
+(:mod:`repro.markov.backend`): the uniformization series is identical
+under both backends — only the matrix–vector product changes, dense
+``vec @ P`` versus CSR ``Pᵀ @ vec`` — while the exponential solvers
+switch between ``scipy.linalg.expm`` (dense) and
+``scipy.sparse.linalg.expm_multiply`` (sparse, never materializing
+``e^{Qt}``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 from scipy.linalg import expm
 
 from repro.errors import ModelError
+from repro.markov.backend import require_scipy_sparse, resolve_backend
 from repro.markov.ctmc import CTMC
 
 __all__ = [
@@ -43,34 +52,79 @@ def _as_generator(chain: Union[CTMC, np.ndarray]) -> np.ndarray:
     return q
 
 
+def _chain_size(chain: Union[CTMC, np.ndarray]) -> int:
+    if isinstance(chain, CTMC):
+        return chain.n_states
+    q = np.asarray(chain, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ModelError(f"generator must be square, got {q.shape}")
+    return q.shape[0]
+
+
+def _sparse_generator(chain: Union[CTMC, np.ndarray]):
+    """The chain as a CSR matrix (requires scipy)."""
+    sparse, _ = require_scipy_sparse()
+    if isinstance(chain, CTMC):
+        return chain.sparse_generator()
+    return sparse.csr_matrix(_as_generator(chain))
+
+
+def _validated_pi0(pi0: np.ndarray, n: int) -> np.ndarray:
+    pi0 = np.asarray(pi0, dtype=float)
+    if pi0.shape != (n,):
+        raise ModelError(f"pi0 has shape {pi0.shape}, expected ({n},)")
+    return pi0
+
+
 def transient_probabilities(
     chain: Union[CTMC, np.ndarray],
     pi0: np.ndarray,
     t: float,
     tol: float = 1e-10,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Equation 2 by uniformization.
 
     Writes ``P = I + Q/Λ`` (a stochastic matrix for ``Λ ≥ max |q_ii|``)
     so that ``π(t) = Σ_k e^{-Λt} (Λt)^k / k! · π(0) P^k``; the series is
     truncated once the remaining Poisson mass falls below ``tol``.
+
+    The ``backend`` argument selects dense or CSR matrix–vector
+    products (see :mod:`repro.markov.backend`); the series itself is
+    identical, so both backends agree to machine precision.
     """
-    q = _as_generator(chain)
-    n = q.shape[0]
-    pi0 = np.asarray(pi0, dtype=float)
-    if pi0.shape != (n,):
-        raise ModelError(
-            f"pi0 has shape {pi0.shape}, expected ({n},)"
-        )
+    n = _chain_size(chain)
+    pi0 = _validated_pi0(pi0, n)
     if t < 0:
         raise ModelError(f"time must be >= 0, got {t}")
+    mode = resolve_backend(n, backend)
     if t == 0:
         return pi0.copy()
 
-    rate = float(np.max(-np.diag(q)))
+    if isinstance(chain, CTMC):
+        rate = chain.uniformization_rate()
+        if chain.nnz == 0:
+            rate = 0.0
+    else:
+        rate = float(np.max(-np.diag(_as_generator(chain))))
     if rate <= 0:
         return pi0.copy()  # no transitions at all
-    p = np.eye(n) + q / rate
+
+    if mode == "sparse":
+        sparse, _ = require_scipy_sparse()
+        q = _sparse_generator(chain)
+        # vec @ P computed as Pᵀ @ vec with a CSR transpose built once.
+        p_t = (sparse.identity(n, format="csr")
+               + q.transpose().tocsr() / rate)
+
+        def step(vec: np.ndarray) -> np.ndarray:
+            return p_t @ vec
+    else:
+        q = _as_generator(chain)
+        p = np.eye(n) + q / rate
+
+        def step(vec: np.ndarray) -> np.ndarray:
+            return vec @ p
 
     lam_t = rate * t
     # Poisson(λt) weights, accumulated until the tail is below tol.
@@ -90,7 +144,7 @@ def transient_probabilities(
     max_terms = int(lam_t + 10.0 * math.sqrt(lam_t) + 32)
     while cumulative < 1.0 - tol and k < max_terms:
         k += 1
-        vec = vec @ p
+        vec = step(vec)
         if in_log_space:
             log_weight += math.log(lam_t) - math.log(k)
             if log_weight > -680.0:
@@ -111,12 +165,26 @@ def transient_probabilities_expm(
     chain: Union[CTMC, np.ndarray],
     pi0: np.ndarray,
     t: float,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
-    """Equation 2 via the dense matrix exponential (cross-check)."""
-    q = _as_generator(chain)
-    pi0 = np.asarray(pi0, dtype=float)
+    """Equation 2 via the matrix exponential (cross-check).
+
+    Dense: ``π(0) e^{Qt}`` with ``scipy.linalg.expm``.  Sparse:
+    ``expm_multiply(Qᵀ t, π(0))`` — the exponential is never formed,
+    only its action on the vector.
+    """
+    n = _chain_size(chain)
+    pi0 = _validated_pi0(pi0, n)
     if t < 0:
         raise ModelError(f"time must be >= 0, got {t}")
+    mode = resolve_backend(n, backend)
+    if mode == "sparse":
+        _, spla = require_scipy_sparse()
+        q = _sparse_generator(chain)
+        return np.asarray(
+            spla.expm_multiply(q.transpose().tocsc() * t, pi0)
+        )
+    q = _as_generator(chain)
     return pi0 @ expm(q * t)
 
 
@@ -124,21 +192,36 @@ def cumulative_times(
     chain: Union[CTMC, np.ndarray],
     pi0: np.ndarray,
     t: float,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Equation 3: expected cumulative time in each state over ``[0, t]``.
 
     The entries of the result sum to ``t``; dividing by ``t`` gives the
-    expected fraction of time per state.
+    expected fraction of time per state.  Both backends evaluate the
+    same augmented exponential ``y(t) = y(0) e^{Mt}``; the sparse path
+    applies ``e^{Mᵀt}`` to ``y(0)`` without materializing it.
     """
-    q = _as_generator(chain)
-    n = q.shape[0]
-    pi0 = np.asarray(pi0, dtype=float)
-    if pi0.shape != (n,):
-        raise ModelError(f"pi0 has shape {pi0.shape}, expected ({n},)")
+    n = _chain_size(chain)
+    pi0 = _validated_pi0(pi0, n)
     if t < 0:
         raise ModelError(f"time must be >= 0, got {t}")
+    mode = resolve_backend(n, backend)
     if t == 0:
         return np.zeros(n)
+    if mode == "sparse":
+        sparse, spla = require_scipy_sparse()
+        q = _sparse_generator(chain)
+        # M = [[Q, 0], [I, 0]]  ⇒  Mᵀ = [[Qᵀ, I], [0, 0]].
+        zero = sparse.csr_matrix((n, n))
+        m_t = sparse.bmat(
+            [[q.transpose().tocsr(), sparse.identity(n, format="csr")],
+             [zero, zero]],
+            format="csc",
+        )
+        y0 = np.concatenate([np.zeros(n), pi0])
+        y = np.asarray(spla.expm_multiply(m_t * t, y0))
+        return y[:n]
+    q = _as_generator(chain)
     m = np.zeros((2 * n, 2 * n))
     m[:n, :n] = q
     m[n:, :n] = np.eye(n)

@@ -434,6 +434,24 @@ class PipelineMetrics:
         self._state = event.category_to
         self._state_since = event.time
 
+    def observe_dwell(self, state: str, duration: float) -> None:
+        """Record an externally-accounted stay of ``duration`` in
+        ``state``.
+
+        Used when dwell time is measured somewhere the event stream
+        cannot reach — e.g. replication workers in another process
+        (:mod:`repro.sim.batch`) whose per-category occupancy is merged
+        into one collector after the fact.
+        """
+        if duration < 0:
+            raise ValueError(
+                f"dwell duration must be >= 0, got {duration}"
+            )
+        self._dwell_histogram(state).observe(duration)
+        self._time_in_state[state] = (
+            self._time_in_state.get(state, 0.0) + duration
+        )
+
     def finalize(self, now: float) -> None:
         """Close the open dwell interval at ``now`` (idempotent)."""
         if self._finalized_at == now:

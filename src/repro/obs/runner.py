@@ -31,6 +31,7 @@ __all__ = [
     "SimTimeDriver",
     "run_figure1_observed",
     "run_gillespie_observed",
+    "run_gillespie_batch_observed",
     "run_fullstack_observed",
 ]
 
@@ -200,6 +201,69 @@ def run_gillespie_observed(
         events=list(recorder.events),
         spans=[],
         result=result,
+    )
+
+
+def run_gillespie_batch_observed(
+    stg,
+    horizon: float = 500.0,
+    replications: int = 4,
+    workers: int = 1,
+    seed: int = 0,
+) -> ObsRun:
+    """A parallel Gillespie batch with merged observability.
+
+    Replications run in worker processes, where the in-process event
+    bus cannot follow; instead each worker's
+    :class:`~repro.sim.ctmc_sim.GillespieResult` is folded into one
+    :class:`~repro.obs.metrics.PipelineMetrics` afterwards — category
+    dwell via :meth:`~repro.obs.metrics.PipelineMetrics.observe_dwell`
+    (one interval per replication, weighted by occupancy), arrival and
+    loss counters pooled.  The span tree records the fan-out itself:
+    one root batch span with a child span per replication carrying its
+    seed and measured wall-clock duration (children share a common
+    origin — they ran concurrently, not stacked).
+
+    Returns an :class:`ObsRun` whose ``result`` is the
+    :class:`~repro.sim.batch.GillespieBatchResult`.
+    """
+    from repro.sim.batch import run_gillespie_batch
+
+    batch = run_gillespie_batch(
+        stg, horizon=horizon, replications=replications,
+        workers=workers, seed=seed,
+    )
+    metrics = PipelineMetrics()
+    for result in batch.results:
+        for category, frac in result.category_occupancy.items():
+            if frac > 0:
+                metrics.observe_dwell(category.name, frac * horizon)
+        accepted = result.arrivals - result.arrivals_lost
+        if accepted:
+            metrics.alerts_enqueued.inc(accepted)
+        if result.arrivals_lost:
+            metrics.alerts_lost.inc(result.arrivals_lost)
+
+    clock = ManualClock()
+    tracer = Tracer(clock)
+    root = tracer.start_span(
+        "gillespie-batch", replications=batch.replications,
+        workers=batch.workers, horizon=horizon,
+    )
+    for i, (rep_seed, wall) in enumerate(zip(batch.seeds,
+                                             batch.wall_times)):
+        child = Span(f"replication-{i}", 0.0,
+                     {"seed": rep_seed, "jumps": batch.results[i].jumps})
+        child.end = wall
+        root.children.append(child)
+    clock.advance(batch.elapsed)
+    tracer.end_span(root)
+
+    return ObsRun(
+        metrics=metrics,
+        events=[],
+        spans=list(tracer.roots),
+        result=batch,
     )
 
 

@@ -13,7 +13,9 @@ package adds an operational layer:
 - :mod:`repro.sim.recovery_sim` — end-to-end pipeline runs (engine →
   attack → IDS → analyzer → healer → audit);
 - :mod:`repro.sim.baselines` — checkpoint/rollback and redo-everything
-  baselines the paper argues against.
+  baselines the paper argues against;
+- :mod:`repro.sim.batch` — parallel replication fan-out over a process
+  pool with deterministic per-replication seed streams.
 """
 
 from repro.sim.architecture_sim import ArchitectureSimulator
@@ -22,6 +24,13 @@ from repro.sim.baselines import (
     checkpoint_rollback_cost,
     dependency_recovery_cost,
     full_redo_cost,
+)
+from repro.sim.batch import (
+    FullStackBatchResult,
+    GillespieBatchResult,
+    run_fullstack_batch,
+    run_gillespie_batch,
+    spawn_seeds,
 )
 from repro.sim.bursty import BurstModel, BurstySimulator
 from repro.sim.ctmc_sim import GillespieResult, GillespieSimulator
@@ -40,6 +49,11 @@ __all__ = [
     "Simulator",
     "GillespieSimulator",
     "GillespieResult",
+    "GillespieBatchResult",
+    "FullStackBatchResult",
+    "run_gillespie_batch",
+    "run_fullstack_batch",
+    "spawn_seeds",
     "ArchitectureSimulator",
     "BurstModel",
     "BurstySimulator",

@@ -1,0 +1,355 @@
+"""Parallel replication runner for the stochastic simulators.
+
+One Gillespie (or full-stack) trajectory estimates the paper's
+quantities with the variance of a single sample path; the standard
+remedy — exact-SSA practice since Gillespie 1977 — is many independent
+replications.  Replications are embarrassingly parallel, so this module
+fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`
+and merges the results.
+
+Two properties are load-bearing and pinned by the differential tests:
+
+**Deterministic seed streams.**  Per-replication seeds are spawned from
+the base seed with :class:`numpy.random.SeedSequence` — replication
+``i`` derives its seed from ``(base_seed, spawn_key=i)`` only.  Streams
+are therefore pairwise distinct, independent of the worker count, and
+*order-independent*: the first ``m`` seeds of an ``n``-replication
+batch equal the seeds of an ``m``-replication batch.
+
+**Worker-count invariance.**  Each replication owns a private
+``random.Random(seed)``, and results are collected in submission order,
+so ``workers=K`` reproduces ``workers=1`` bit-exactly — parallelism
+buys wall-clock time, never different answers.  With ``workers=1`` no
+pool (and no subprocess) is created at all.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.markov.stg import RecoverySTG, State, StateCategory
+from repro.sim import ctmc_sim, fullstack
+from repro.sim.ctmc_sim import GillespieResult
+from repro.sim.fullstack import FullStackConfig, FullStackResult
+
+__all__ = [
+    "spawn_seeds",
+    "default_workers",
+    "GillespieBatchResult",
+    "FullStackBatchResult",
+    "run_gillespie_batch",
+    "run_fullstack_batch",
+]
+
+
+def spawn_seeds(base_seed: int, n: int) -> List[int]:
+    """``n`` pairwise-distinct 64-bit replication seeds from one base
+    seed, via ``SeedSequence`` spawning.
+
+    Seed ``i`` depends only on ``(base_seed, i)``: growing ``n`` never
+    changes earlier seeds, and neither does the worker count.
+    """
+    if n < 0:
+        raise SimulationError(f"need n >= 0 seeds, got {n}")
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(c.generate_state(1, np.uint64)[0]) for c in children]
+
+
+def default_workers() -> int:
+    """A sensible worker count: the CPU count, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def _validate(replications: int, workers: int, horizon: float) -> None:
+    if replications < 1:
+        raise SimulationError(
+            f"replications must be >= 1, got {replications}"
+        )
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be > 0, got {horizon}")
+
+
+def _timed_gillespie(
+    stg: RecoverySTG,
+    horizon: float,
+    seed: int,
+    start: Optional[State],
+) -> Tuple[GillespieResult, float]:
+    t0 = time.perf_counter()
+    result = ctmc_sim.run_replication(stg, horizon, seed, start=start)
+    return result, time.perf_counter() - t0
+
+
+def _timed_fullstack(
+    config: FullStackConfig,
+    horizon: float,
+    seed: int,
+) -> Tuple[FullStackResult, float]:
+    t0 = time.perf_counter()
+    result = fullstack.run_replication(config, horizon, seed)
+    return result, time.perf_counter() - t0
+
+
+def _fan_out(
+    worker: Callable,
+    tasks: Sequence[tuple],
+    workers: int,
+) -> List[tuple]:
+    """Run ``worker(*task)`` for every task, preserving order.
+
+    ``workers == 1`` runs inline — no pool, no subprocess; otherwise a
+    process pool executes the tasks and results are gathered in
+    submission order (determinism over opportunistic completion order).
+    """
+    if workers == 1:
+        return [worker(*task) for task in tasks]
+    pool_size = min(workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        futures = [pool.submit(worker, *task) for task in tasks]
+        return [f.result() for f in futures]
+
+
+def _mean_and_stderr(values: Sequence[float]) -> Tuple[float, float]:
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return mean, 0.0
+    return mean, float(arr.std(ddof=1) / np.sqrt(arr.size))
+
+
+@dataclass
+class GillespieBatchResult:
+    """Merged statistics over ``n`` independent Gillespie replications.
+
+    Attributes
+    ----------
+    results:
+        Per-replication :class:`~repro.sim.ctmc_sim.GillespieResult`,
+        in replication order.
+    seeds:
+        The per-replication seed stream actually used.
+    horizon, workers:
+        Replication horizon and the worker count of this run.
+    wall_times:
+        Per-replication wall-clock seconds (measured inside the
+        worker).
+    elapsed:
+        Wall-clock seconds for the whole batch, pool overhead included.
+    """
+
+    results: List[GillespieResult]
+    seeds: List[int]
+    horizon: float
+    workers: int
+    wall_times: List[float] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def replications(self) -> int:
+        """Number of replications merged."""
+        return len(self.results)
+
+    @property
+    def occupancy(self) -> Dict[State, float]:
+        """Mean fraction of time per state across replications."""
+        merged: Dict[State, float] = {}
+        for r in self.results:
+            for s, frac in r.occupancy.items():
+                merged[s] = merged.get(s, 0.0) + frac
+        n = len(self.results)
+        return {s: v / n for s, v in merged.items()}
+
+    @property
+    def category_occupancy(self) -> Dict[StateCategory, float]:
+        """Mean fraction of time in NORMAL / SCAN / RECOVERY."""
+        merged = {c: 0.0 for c in StateCategory}
+        for r in self.results:
+            for c, frac in r.category_occupancy.items():
+                merged[c] += frac
+        n = len(self.results)
+        return {c: v / n for c, v in merged.items()}
+
+    @property
+    def loss_time_fraction(self) -> float:
+        """Mean loss-time fraction (Definition 3, empirical)."""
+        return _mean_and_stderr(
+            [r.loss_time_fraction for r in self.results]
+        )[0]
+
+    @property
+    def loss_time_stderr(self) -> float:
+        """Standard error of the loss-time fraction across
+        replications — the batch's confidence handle."""
+        return _mean_and_stderr(
+            [r.loss_time_fraction for r in self.results]
+        )[1]
+
+    @property
+    def arrivals(self) -> int:
+        """Total alert arrivals over all replications."""
+        return sum(r.arrivals for r in self.results)
+
+    @property
+    def arrivals_lost(self) -> int:
+        """Total alerts lost over all replications."""
+        return sum(r.arrivals_lost for r in self.results)
+
+    @property
+    def jumps(self) -> int:
+        """Total state transitions over all replications."""
+        return sum(r.jumps for r in self.results)
+
+    @property
+    def alert_loss_fraction(self) -> float:
+        """Pooled lost/offered alert fraction."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.arrivals_lost / self.arrivals
+
+
+@dataclass
+class FullStackBatchResult:
+    """Merged statistics over ``n`` full-stack replications."""
+
+    results: List[FullStackResult]
+    seeds: List[int]
+    horizon: float
+    workers: int
+    wall_times: List[float] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def replications(self) -> int:
+        """Number of replications merged."""
+        return len(self.results)
+
+    @property
+    def category_occupancy(self) -> Dict[StateCategory, float]:
+        """Mean fraction of time in NORMAL / SCAN / RECOVERY."""
+        merged = {c: 0.0 for c in StateCategory}
+        for r in self.results:
+            for c, frac in r.category_occupancy.items():
+                merged[c] += frac
+        n = len(self.results)
+        return {c: v / n for c, v in merged.items()}
+
+    @property
+    def attacks(self) -> int:
+        """Total attack runs over all replications."""
+        return sum(r.attacks for r in self.results)
+
+    @property
+    def alerts_lost(self) -> int:
+        """Total lost alerts over all replications."""
+        return sum(r.alerts_lost for r in self.results)
+
+    @property
+    def loss_fraction(self) -> float:
+        """Pooled lost/offered fraction."""
+        if self.attacks == 0:
+            return 0.0
+        return self.alerts_lost / self.attacks
+
+    @property
+    def heals(self) -> int:
+        """Total committed batch heals."""
+        return sum(r.heals for r in self.results)
+
+    @property
+    def repaired_instances(self) -> int:
+        """Total task instances undone across all replications."""
+        return sum(r.repaired_instances for r in self.results)
+
+    @property
+    def all_heals_audited_ok(self) -> bool:
+        """True only if **every** replication stayed strictly
+        correct."""
+        return all(r.all_heals_audited_ok for r in self.results)
+
+
+def run_gillespie_batch(
+    stg: RecoverySTG,
+    horizon: float,
+    replications: int,
+    workers: int = 1,
+    seed: int = 0,
+    start: Optional[State] = None,
+) -> GillespieBatchResult:
+    """Run ``replications`` independent Gillespie trajectories.
+
+    Parameters
+    ----------
+    stg:
+        The recovery STG (picklable: the standard rate schedules are
+        built from module-level functions).
+    horizon:
+        Simulated duration of every replication.
+    replications, workers:
+        Fan-out shape.  ``workers=1`` runs inline without creating a
+        pool; ``workers=K`` uses a ``ProcessPoolExecutor`` and returns
+        bit-identical results.
+    seed:
+        Base seed of the replication seed stream
+        (:func:`spawn_seeds`).
+    start:
+        Optional common start state (default NORMAL).
+
+    Raises
+    ------
+    SimulationError
+        For ``replications < 1``, ``workers < 1`` or ``horizon <= 0``.
+    """
+    _validate(replications, workers, horizon)
+    seeds = spawn_seeds(seed, replications)
+    t0 = time.perf_counter()
+    outcomes = _fan_out(
+        _timed_gillespie,
+        [(stg, horizon, s, start) for s in seeds],
+        workers,
+    )
+    elapsed = time.perf_counter() - t0
+    return GillespieBatchResult(
+        results=[r for r, _ in outcomes],
+        seeds=seeds,
+        horizon=horizon,
+        workers=workers,
+        wall_times=[w for _, w in outcomes],
+        elapsed=elapsed,
+    )
+
+
+def run_fullstack_batch(
+    config: FullStackConfig,
+    horizon: float,
+    replications: int,
+    workers: int = 1,
+    seed: int = 0,
+) -> FullStackBatchResult:
+    """Run ``replications`` independent full-stack simulations; same
+    contract as :func:`run_gillespie_batch`."""
+    _validate(replications, workers, horizon)
+    seeds = spawn_seeds(seed, replications)
+    t0 = time.perf_counter()
+    outcomes = _fan_out(
+        _timed_fullstack,
+        [(config, horizon, s) for s in seeds],
+        workers,
+    )
+    elapsed = time.perf_counter() - t0
+    return FullStackBatchResult(
+        results=[r for r, _ in outcomes],
+        seeds=seeds,
+        horizon=horizon,
+        workers=workers,
+        wall_times=[w for _, w in outcomes],
+        elapsed=elapsed,
+    )

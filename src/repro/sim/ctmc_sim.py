@@ -27,7 +27,26 @@ from repro.obs.events import (
     UnitEmitted,
 )
 
-__all__ = ["GillespieResult", "GillespieSimulator"]
+__all__ = ["GillespieResult", "GillespieSimulator", "run_replication"]
+
+
+def run_replication(
+    stg: RecoverySTG,
+    horizon: float,
+    seed: int,
+    start: Optional[State] = None,
+    bus: Optional[EventBus] = None,
+) -> "GillespieResult":
+    """One seeded Gillespie replication.
+
+    Module-level (hence picklable) entry point used by
+    :mod:`repro.sim.batch` to fan replications out over a process pool;
+    running it with the same ``(stg, horizon, seed, start)`` always
+    reproduces the same trajectory, worker placement notwithstanding.
+    """
+    return GillespieSimulator(stg, random.Random(seed), bus=bus).run(
+        horizon, start=start
+    )
 
 
 @dataclass

@@ -51,7 +51,29 @@ from repro.sim.simulator import Simulator
 from repro.workflow.data import DataStore
 from repro.workflow.spec import WorkflowSpec, workflow
 
-__all__ = ["FullStackConfig", "FullStackResult", "FullStackSimulator"]
+__all__ = [
+    "FullStackConfig",
+    "FullStackResult",
+    "FullStackSimulator",
+    "run_replication",
+]
+
+
+def run_replication(
+    config: "FullStackConfig",
+    horizon: float,
+    seed: int,
+    bus: Optional[EventBus] = None,
+) -> "FullStackResult":
+    """One seeded full-stack replication.
+
+    Module-level (hence picklable) entry point used by
+    :mod:`repro.sim.batch`; the frozen :class:`FullStackConfig` plus a
+    seed fully determine the run.
+    """
+    return FullStackSimulator(config, random.Random(seed), bus=bus).run(
+        horizon
+    )
 
 
 @dataclass(frozen=True)

@@ -81,6 +81,72 @@ class TestSimulate:
         assert "alerts:" in out
 
 
+class TestSimulateBatch:
+    def test_batch_table_and_stderr(self, capsys):
+        assert main(["simulate", "--buffer", "4", "--horizon", "50",
+                     "--seed", "3", "--replications", "4",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 replications" in out
+        assert "loss probability stderr" in out
+        assert "batch wall time" in out
+
+    def test_workers_one_spawns_no_pool(self, capsys, monkeypatch):
+        """--workers 1 must run inline: creating a process pool at all
+        is a bug, not merely a slow path."""
+        import repro.sim.batch as batch_mod
+
+        class PoolForbidden:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError(
+                    "ProcessPoolExecutor created despite --workers 1"
+                )
+
+        monkeypatch.setattr(batch_mod, "ProcessPoolExecutor",
+                            PoolForbidden)
+        assert main(["simulate", "--buffer", "4", "--horizon", "50",
+                     "--replications", "3", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3 replications" in out
+
+    def test_single_replication_uses_single_path(self, capsys):
+        """--replications 1 (the default) keeps the original
+        single-trajectory output, stderr line absent."""
+        assert main(["simulate", "--buffer", "4", "--horizon", "50",
+                     "--replications", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "stderr" not in out
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--replications", "0"],
+        ["simulate", "--replications", "-2"],
+        ["simulate", "--workers", "0"],
+        ["simulate", "--workers", "-1"],
+        ["simulate", "--replications", "two"],
+        ["simulate", "--workers", "1.5"],
+    ])
+    def test_invalid_fanout_exits_two(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be a positive integer" in err or "invalid" in err
+
+    def test_backend_choice_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["steady", "--backend", "bogus"])
+        assert exc.value.code == 2
+
+    def test_explicit_backends_agree(self, capsys):
+        assert main(["steady", "--buffer", "6",
+                     "--backend", "dense"]) == 0
+        dense_out = capsys.readouterr().out
+        assert main(["steady", "--buffer", "6",
+                     "--backend", "sparse"]) == 0
+        sparse_out = capsys.readouterr().out
+        assert dense_out == sparse_out
+
+
 class TestSensitivity:
     def test_prints_elasticities(self, capsys):
         assert main(["sensitivity", "--buffer", "8"]) == 0
