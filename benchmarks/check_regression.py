@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Benchmark regression gate.
+
+Compares freshly produced ``BENCH_ctmc.json`` / ``BENCH_sim.json``
+(from ``benchmarks/bench_scale.py --out-dir ...``) against the
+committed baselines at the repository root and fails (exit 1) when:
+
+- either file is structurally invalid (wrong benchmark name, empty
+  results);
+- a correctness invariant broke: any CTMC backend disagreement
+  (``max_abs_diff``) above ``--max-abs-diff``, or any simulation row
+  with ``results_identical: false`` (workers=K must reproduce
+  workers=1 bit-exactly);
+- on rows present in *both* files (matched by ``buffer`` for the CTMC
+  sweep, ``replications`` for the simulation batch), a speedup fell by
+  more than ``--tolerance`` (default 25%) relative to the committed
+  value.
+
+Quick CI sweeps use smaller problem sizes than the committed full
+sweep, so their rows may not overlap at all — the correctness checks
+still run, and the speedup comparison simply has nothing to compare
+(reported, not failed: timing comparisons across different machines
+are noise anyway).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List
+
+#: Operations timed per CTMC row.
+CTMC_OPS = ("steady_state", "transient", "passage")
+
+
+def _load(path: pathlib.Path, expected_benchmark: str) -> dict:
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"FAIL: {path} does not exist")
+    except ValueError as exc:
+        raise SystemExit(f"FAIL: {path} is not valid JSON: {exc}")
+    if doc.get("benchmark") != expected_benchmark:
+        raise SystemExit(
+            f"FAIL: {path}: benchmark is {doc.get('benchmark')!r}, "
+            f"expected {expected_benchmark!r}"
+        )
+    if not isinstance(doc.get("results"), list) or not doc["results"]:
+        raise SystemExit(f"FAIL: {path}: empty or missing results array")
+    return doc
+
+
+def check_ctmc(fresh: dict, baseline: dict, tolerance: float,
+               max_abs_diff: float) -> List[str]:
+    """Failures found in the CTMC backend sweep."""
+    failures: List[str] = []
+    for row in fresh["results"]:
+        for op, diff in row.get("max_abs_diff", {}).items():
+            if diff > max_abs_diff:
+                failures.append(
+                    f"ctmc buffer={row['buffer']}: dense and sparse "
+                    f"backends disagree on {op} "
+                    f"(max_abs_diff {diff:g} > {max_abs_diff:g})"
+                )
+    base_by_buffer: Dict[int, dict] = {
+        row["buffer"]: row for row in baseline["results"]
+    }
+    compared = 0
+    for row in fresh["results"]:
+        base = base_by_buffer.get(row["buffer"])
+        if base is None:
+            continue
+        for op in CTMC_OPS:
+            if op not in row or op not in base:
+                continue
+            fresh_speedup = row[op].get("speedup")
+            base_speedup = base[op].get("speedup")
+            if not fresh_speedup or not base_speedup:
+                continue
+            compared += 1
+            if fresh_speedup < base_speedup * (1.0 - tolerance):
+                failures.append(
+                    f"ctmc buffer={row['buffer']} {op}: speedup "
+                    f"regressed {base_speedup:.2f}x -> "
+                    f"{fresh_speedup:.2f}x "
+                    f"(> {tolerance:.0%} below baseline)"
+                )
+    print(f"ctmc: {len(fresh['results'])} rows checked, "
+          f"{compared} speedups compared against baseline")
+    return failures
+
+
+def check_sim(fresh: dict, baseline: dict, tolerance: float) -> List[str]:
+    """Failures found in the simulation batch sweep."""
+    failures: List[str] = []
+    for row in fresh["results"]:
+        if not row.get("results_identical", False):
+            failures.append(
+                f"sim replications={row['replications']}: parallel "
+                "results differ from serial (worker-count invariance "
+                "broke)"
+            )
+    base_by_reps: Dict[int, dict] = {
+        row["replications"]: row for row in baseline["results"]
+    }
+    compared = 0
+    for row in fresh["results"]:
+        base = base_by_reps.get(row["replications"])
+        if base is None:
+            continue
+        fresh_speedup = row.get("speedup")
+        base_speedup = base.get("speedup")
+        if not fresh_speedup or not base_speedup:
+            continue
+        compared += 1
+        if fresh_speedup < base_speedup * (1.0 - tolerance):
+            failures.append(
+                f"sim replications={row['replications']}: speedup "
+                f"regressed {base_speedup:.2f}x -> {fresh_speedup:.2f}x "
+                f"(> {tolerance:.0%} below baseline)"
+            )
+    print(f"sim: {len(fresh['results'])} rows checked, "
+          f"{compared} speedups compared against baseline")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-dir", type=pathlib.Path, required=True,
+        help="directory holding the freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="directory holding the committed BENCH_*.json "
+             "(default: the repository root)")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative speedup drop on comparable rows "
+             "(default 0.25 = 25%%)")
+    parser.add_argument(
+        "--max-abs-diff", type=float, default=1e-6,
+        help="ceiling on dense-vs-sparse CTMC disagreement "
+             "(default 1e-6)")
+    args = parser.parse_args(argv)
+
+    fresh_ctmc = _load(args.fresh_dir / "BENCH_ctmc.json",
+                       "ctmc_backends")
+    fresh_sim = _load(args.fresh_dir / "BENCH_sim.json", "sim_batch")
+    base_ctmc = _load(args.baseline_dir / "BENCH_ctmc.json",
+                      "ctmc_backends")
+    base_sim = _load(args.baseline_dir / "BENCH_sim.json", "sim_batch")
+
+    failures = (
+        check_ctmc(fresh_ctmc, base_ctmc, args.tolerance,
+                   args.max_abs_diff)
+        + check_sim(fresh_sim, base_sim, args.tolerance)
+    )
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ Exposes the library's main flows without writing code::
     repro-workflow design --lam 1 --epsilon 0.01   # Section VI sizing
     repro-workflow simulate --horizon 5000          # Gillespie run
     repro-workflow obs --scenario figure1           # metrics + trace
+    repro-workflow obs record --log run.jsonl       # flight-record a run
+    repro-workflow obs replay --log run.jsonl       # deterministic replay
+    repro-workflow obs explain 'wf1/t6#1'           # causal chain
+    repro-workflow obs trace --out trace.json       # Chrome/Perfetto trace
     repro-workflow stg-dot --buffer 3    # Figure 3 as Graphviz DOT
 
 Every command prints plain text tables (see ``--help`` per command).
@@ -25,7 +29,12 @@ import random
 import sys
 from typing import List, Optional, Sequence
 
-from repro.errors import RecoveryError, SchedulingError, SimulationError
+from repro.errors import (
+    ObsError,
+    RecoveryError,
+    SchedulingError,
+    SimulationError,
+)
 from repro.markov.degradation import power_law
 from repro.markov.design import design_system, peak_resilience
 from repro.markov.metrics import (
@@ -292,15 +301,161 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _obs_recorded_run(args, path: Optional[str] = None):
+    """Run the selected scenario with a flight recorder attached;
+    returns ``(recorder, obs_run)``.  Only the scenarios whose drivers
+    are recorder-instrumented qualify."""
+    from repro.obs.recorder import FlightRecorder
+
+    if args.scenario == "figure1":
+        from repro.obs.runner import run_figure1_observed
+
+        flight = FlightRecorder(
+            label="figure1", path=path,
+            meta={"false_alarms": args.false_alarms},
+        )
+        run = run_figure1_observed(
+            false_alarms=args.false_alarms,
+            alert_buffer=args.alert_buffer or args.buffer,
+            recovery_buffer=args.buffer,
+            scan_time=1.0 / args.mu1,
+            task_time=1.0 / args.xi1,
+            flight=flight,
+        )
+    elif args.scenario == "fullstack":
+        from repro.obs.runner import run_fullstack_observed
+        from repro.sim.fullstack import FullStackConfig
+
+        flight = FlightRecorder(
+            label="fullstack", path=path,
+            meta={"seed": args.seed, "horizon": args.horizon},
+        )
+        run = run_fullstack_observed(
+            FullStackConfig(
+                arrival_rate=args.lam,
+                scan_time=1.0 / args.mu1,
+                unit_recovery_time=1.0 / args.xi1,
+                alert_buffer=args.alert_buffer or args.buffer,
+                recovery_buffer=args.buffer,
+            ),
+            horizon=args.horizon,
+            seed=args.seed,
+            flight=flight,
+        )
+    else:
+        raise ObsError(
+            "flight recording supports --scenario figure1 and "
+            "fullstack (gillespie trajectories have no recovery "
+            "pipeline to record)"
+        )
+    flight.close()
+    return flight, run
+
+
+def _obs_load_log(args):
+    """A flight log for replay/explain/trace: from ``--log`` when
+    given, else freshly recorded in memory."""
+    from repro.obs.recorder import load_flight_log, read_flight_log
+
+    if args.log:
+        return load_flight_log(args.log)
+    flight, _ = _obs_recorded_run(args)
+    return read_flight_log(flight.text())
+
+
+def _cmd_obs_record(args) -> int:
+    path = args.log if args.log and args.log != "-" else None
+    flight, _ = _obs_recorded_run(args, path=path)
+    lines = flight.text().count("\n")
+    if path is None:
+        print(flight.text(), end="")
+    else:
+        print(f"{lines} flight-log records written to {path}")
+    return 0
+
+
+def _cmd_obs_replay(args) -> int:
+    from repro.obs.export import metrics_table, render_prometheus
+    from repro.obs.provenance import replay
+
+    log = _obs_load_log(args)
+    run = replay(log)
+    source = args.log if args.log else f"fresh {args.scenario} run"
+    print(f"Replayed flight log: {source} "
+          f"(label={log.label!r}, schema {log.header.get('schema')})")
+    print(f"  events: {len(run.events)}")
+    print(f"  undo set (definite): "
+          f"{' '.join(sorted(run.plan_undo)) or '-'}")
+    if run.undo_candidates:
+        print(f"  undo candidates    : "
+              f"{' '.join(sorted(run.undo_candidates))}")
+    print(f"  redo set (definite): "
+          f"{' '.join(sorted(run.plan_redo)) or '-'}")
+    if run.redo_candidates:
+        print(f"  redo candidates    : "
+              f"{' '.join(sorted(run.redo_candidates))}")
+    print(f"  order edges: {len(run.order_edges)}  "
+          f"schedule: {len(run.schedule)} dispatches")
+    if run.schedule:
+        print("  realized schedule: " + " -> ".join(run.schedule))
+    print()
+    print(metrics_table(run.metrics, "Replayed pipeline metrics")
+          .render())
+    if args.prom:
+        print("\nPrometheus exposition:")
+        print(render_prometheus(run.metrics.registry), end="")
+    return 0
+
+
+def _cmd_obs_explain(args) -> int:
+    from repro.obs.provenance import explain
+
+    if not args.target:
+        raise ObsError(
+            "obs explain needs a task instance uid, e.g. "
+            "repro-workflow obs explain 'wf1/t6#1'"
+        )
+    print(explain(_obs_load_log(args), args.target))
+    return 0
+
+
+def _cmd_obs_trace(args) -> int:
+    from repro.obs.export import spans_to_chrome_trace
+    from repro.obs.provenance import build_span_tree
+
+    log = _obs_load_log(args)
+    text = spans_to_chrome_trace(build_span_tree(log), log.events)
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"Chrome trace written to {args.out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_obs(args) -> int:
-    """Run a scenario with the observability subsystem attached and
-    print its metrics / trace report."""
+    """Observability: run a scenario instrumented ('report', the
+    default), capture a replayable flight log ('record'), reconstruct a
+    run from one ('replay'), print one task's causal chain ('explain
+    <task>'), or export a Chrome/Perfetto trace ('trace')."""
     from repro.obs.export import (
         events_to_jsonl,
         metrics_table,
         render_prometheus,
     )
     from repro.obs.tracing import render_span_tree
+
+    action = getattr(args, "action", "report")
+    if action == "record":
+        return _cmd_obs_record(args)
+    if action == "replay":
+        return _cmd_obs_replay(args)
+    if action == "explain":
+        return _cmd_obs_explain(args)
+    if action == "trace":
+        return _cmd_obs_trace(args)
 
     if args.scenario == "figure1":
         from repro.obs.runner import run_figure1_observed
@@ -475,7 +630,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("obs", help=cmd_obs.__doc__)
+    p.add_argument("action", nargs="?", default="report",
+                   choices=["report", "record", "replay", "explain",
+                            "trace"],
+                   help="report (default): run and print metrics; "
+                        "record: capture a flight log; replay: "
+                        "reconstruct a run from one; explain <task>: "
+                        "print a task's causal chain; trace: export "
+                        "Chrome-trace JSON")
+    p.add_argument("target", nargs="?", default=None,
+                   help="task instance uid (explain action only)")
     _add_model_args(p)
+    p.add_argument("--log", metavar="FILE", default=None,
+                   help="flight-log file: output of 'record' ('-' for "
+                        "stdout), input of replay/explain/trace "
+                        "(omitted: record a fresh run in memory)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="output file for 'trace' ('-' or omitted: "
+                        "stdout)")
     p.add_argument("--scenario",
                    choices=["figure1", "gillespie", "fullstack"],
                    default="figure1",
@@ -520,7 +692,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (RecoveryError, SchedulingError, SimulationError) as exc:
+    except (ObsError, RecoveryError, SchedulingError,
+            SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_DOMAIN_ERROR
 

@@ -16,6 +16,7 @@ them), which is exactly the ``μ_k`` degradation the CTMC models; see
 from __future__ import annotations
 
 import time as _time
+from dataclasses import replace
 from typing import (
     Callable,
     Iterable,
@@ -31,7 +32,13 @@ from repro.core.partial_orders import recovery_partial_order
 from repro.core.plan import RecoveryPlan
 from repro.core.undo_redo import find_redo_tasks, find_undo_tasks
 from repro.ids.alerts import Alert
-from repro.obs.events import EventBus, ScanStep
+from repro.obs.events import (
+    EventBus,
+    OrderConstraint,
+    RedoDecision,
+    ScanStep,
+    UndoDecision,
+)
 from repro.workflow.dependency import DependencyAnalyzer
 from repro.workflow.log import SystemLog
 from repro.workflow.spec import WorkflowSpec
@@ -104,19 +111,36 @@ class RecoveryAnalyzer:
             uid = alert.uid if isinstance(alert, Alert) else alert
             uids.append(uid)
         analyzer = self._dependency_analyzer()
-        undo_analysis = find_undo_tasks(analyzer, uids)
-        redo_analysis = find_redo_tasks(analyzer, undo_analysis.definite)
+        tracing = self._bus is not None and self._bus.active
+        undo_trace: Optional[List[UndoDecision]] = [] if tracing else None
+        redo_trace: Optional[List[RedoDecision]] = [] if tracing else None
+        order_trace: Optional[List[OrderConstraint]] = \
+            [] if tracing else None
+        undo_analysis = find_undo_tasks(analyzer, uids, trace=undo_trace)
+        redo_analysis = find_redo_tasks(
+            analyzer, undo_analysis.definite, trace=redo_trace
+        )
         order = recovery_partial_order(
             analyzer,
             undo_set=undo_analysis.definite,
             redo_set=redo_analysis.definite,
+            trace=order_trace,
         )
         order.check_acyclic()
         cross = self._cross_unit_constraints(analyzer, order, outstanding)
-        if self._bus is not None and self._bus.active:
+        if tracing:
+            now = self._clock()
+            # Provenance first (why each action exists and how it is
+            # ordered), then the ScanStep that closes the analysis.
+            for decision in undo_trace + redo_trace + order_trace:
+                self._bus.publish(replace(decision, time=now))
+            for prior, action in cross:
+                self._bus.publish(OrderConstraint(
+                    now, rule="XU", before=str(prior), after=str(action),
+                ))
             outstanding_units = sum(p.units for p in outstanding)
             self._bus.publish(ScanStep(
-                self._clock(),
+                now,
                 uid=uids[0] if uids else "",
                 outstanding_units=outstanding_units,
                 cost=self.analysis_cost(outstanding_units),

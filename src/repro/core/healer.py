@@ -285,13 +285,17 @@ class Healer:
         self._bus = bus if bus is not None and bus.active else None
         self._clock = clock if clock is not None else _time.monotonic
 
-    def _note_undo(self, uid: str) -> None:
+    def _note_undo(self, uid: str, reason: str = "") -> None:
         if self._bus is not None:
-            self._bus.publish(TaskUndone(self._clock(), uid=uid))
+            self._bus.publish(
+                TaskUndone(self._clock(), uid=uid, reason=reason)
+            )
 
-    def _note_redo(self, uid: str) -> None:
+    def _note_redo(self, uid: str, mode: str = "redo") -> None:
         if self._bus is not None:
-            self._bus.publish(TaskRedone(self._clock(), uid=uid))
+            self._bus.publish(
+                TaskRedone(self._clock(), uid=uid, mode=mode)
+            )
 
     # -- public API ---------------------------------------------------------
 
@@ -339,7 +343,7 @@ class Healer:
             record = analyzer.record(uid)
             undone.append(uid)
             actions.append(Action.undo(uid))
-            self._note_undo(uid)
+            self._note_undo(uid, reason="closure")
             log.commit(
                 record.instance,
                 reads={},
@@ -478,7 +482,7 @@ class Healer:
             # incorrect even though it was not in the static closure.
             undone.append(uid)
             actions.append(Action.undo(uid))
-            self._note_undo(uid)
+            self._note_undo(uid, reason="stale-read")
             for name, ver in record.writes.items():
                 dirty.add((name, ver))
             self._log.commit(
@@ -516,7 +520,7 @@ class Healer:
         if uid not in set(undone):
             undone.append(uid)
             actions.append(Action.undo(uid))
-            self._note_undo(uid)
+            self._note_undo(uid, reason="abandoned")
         if uid not in closure:
             # Closure members already carry a Phase-A undo record.
             self._log.commit(
@@ -577,7 +581,7 @@ class Healer:
         walker.expected = chosen
         new_execs.append(instance.uid)
         actions.append(Action.redo(instance.uid))
-        self._note_redo(instance.uid)
+        self._note_redo(instance.uid, mode="new")
         history.append(HistoryStep(wf, task_id, number))
 
     def _execute(

@@ -30,9 +30,19 @@ enforced (and audited) dynamically by the healer.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.actions import Action
+from repro.obs.events import OrderConstraint
 from repro.workflow.dependency import DependencyAnalyzer
 from repro.workflow.precedence import PartialOrder
 
@@ -43,6 +53,7 @@ def recovery_partial_order(
     analyzer: DependencyAnalyzer,
     undo_set: Iterable[str],
     redo_set: Iterable[str],
+    trace: Optional[List[OrderConstraint]] = None,
 ) -> PartialOrder[Action]:
     """Build the Theorem 3 static partial order over recovery actions.
 
@@ -55,6 +66,11 @@ def recovery_partial_order(
     redo_set:
         Instances to redo; must be a subset of ``undo_set`` ∪ log (a redo
         without an undo is rejected by rule T3.3's premise).
+    trace:
+        Optional provenance sink: one
+        :class:`~repro.obs.events.OrderConstraint` per edge added,
+        tagged with the Theorem 3 rule (``"T3.1"``/``"T3.3"``/
+        ``"T3.4"``/``"T3.5"``) that required it.
 
     Returns
     -------
@@ -68,6 +84,14 @@ def recovery_partial_order(
     undos = frozenset(undo_set)
     redos = frozenset(redo_set)
     order: PartialOrder[Action] = PartialOrder()
+
+    def add_edge(rule: str, before: Action, after: Action) -> None:
+        order.add_edge(before, after)
+        if trace is not None:
+            trace.append(OrderConstraint(
+                0.0, rule=rule, before=str(before), after=str(after),
+            ))
+
     for uid in sorted(undos):
         order.add_element(Action.undo(uid))
     for uid in sorted(redos):
@@ -75,13 +99,13 @@ def recovery_partial_order(
 
     # T3.3: undo(t) ≺ redo(t).
     for uid in sorted(undos & redos):
-        order.add_edge(Action.undo(uid), Action.redo(uid))
+        add_edge("T3.3", Action.undo(uid), Action.redo(uid))
 
     # T3.1: log precedence between redo pairs.
     redo_sorted = sorted(redos, key=lambda u: analyzer.record(u).seq)
     for i, earlier in enumerate(redo_sorted):
         for later in redo_sorted[i + 1:]:
-            order.add_edge(Action.redo(earlier), Action.redo(later))
+            add_edge("T3.1", Action.redo(earlier), Action.redo(later))
 
     # T3.2, T3.4, T3.5 from the log's data dependences.
     for uid in sorted(undos | redos):
@@ -90,11 +114,11 @@ def recovery_partial_order(
         for edge in analyzer.anti_edges_from(uid):
             # t_i →a t_j: t_j modified data t_i read.
             if uid in redos and edge.dst in undos:
-                order.add_edge(Action.undo(edge.dst), Action.redo(uid))
+                add_edge("T3.4", Action.undo(edge.dst), Action.redo(uid))
         for edge in analyzer.output_edges_from(uid):
             # t_i →o t_j: both wrote the same object, t_j later.
             if uid in undos and edge.dst in undos:
-                order.add_edge(Action.undo(edge.dst), Action.undo(uid))
+                add_edge("T3.5", Action.undo(edge.dst), Action.undo(uid))
     return order
 
 
@@ -104,6 +128,7 @@ def normal_task_constraints(
     redo_set: Iterable[str],
     normal_tasks: Mapping[str, Tuple[FrozenSet[str], FrozenSet[str]]],
     order: Optional[PartialOrder[Action]] = None,
+    trace: Optional[List[OrderConstraint]] = None,
 ) -> PartialOrder[Action]:
     """Add Theorem 4 edges for pending normal tasks.
 
@@ -118,6 +143,10 @@ def normal_task_constraints(
         ``uid → (read set, write set)`` of *data object names*.
     order:
         Order to extend; a fresh Theorem 3 order is built when omitted.
+    trace:
+        Optional provenance sink: one
+        :class:`~repro.obs.events.OrderConstraint` (rule ``"T4.1"``)
+        per edge gating a normal task behind recovery.
 
     Notes
     -----
@@ -132,7 +161,15 @@ def normal_task_constraints(
     undos = frozenset(undo_set)
     redos = frozenset(redo_set)
     if order is None:
-        order = recovery_partial_order(analyzer, undos, redos)
+        order = recovery_partial_order(analyzer, undos, redos, trace=trace)
+
+    def add_edge(before: Action, after: Action) -> None:
+        order.add_edge(before, after)
+        if trace is not None:
+            trace.append(OrderConstraint(
+                0.0, rule="T4.1", before=str(before), after=str(after),
+            ))
+
     for norm_uid, (reads, writes) in sorted(normal_tasks.items()):
         normal_action = Action.normal(norm_uid)
         order.add_element(normal_action)
@@ -148,7 +185,7 @@ def normal_task_constraints(
             if not conflict:
                 continue
             if uid in undos:
-                order.add_edge(Action.undo(uid), normal_action)
+                add_edge(Action.undo(uid), normal_action)
             if uid in redos:
-                order.add_edge(Action.redo(uid), normal_action)
+                add_edge(Action.redo(uid), normal_action)
     return order

@@ -24,8 +24,9 @@ bad ``t_j`` but still on the re-executed path (candidates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.obs.events import RedoDecision, UndoDecision
 from repro.workflow.dependency import DependencyAnalyzer
 
 __all__ = [
@@ -117,9 +118,52 @@ class RedoAnalysis:
         return frozenset(dep for _, dep in self.candidates)
 
 
+def _traced_flow_closure(
+    analyzer: DependencyAnalyzer,
+    seeds: FrozenSet[str],
+    trace: List[UndoDecision],
+) -> FrozenSet[str]:
+    """Flow closure of ``seeds`` with one T1.3 provenance record per
+    infected instance: the dependency path that first reached it and
+    the data objects of the final edge.
+
+    Produces exactly the same set as
+    :meth:`~repro.workflow.dependency.DependencyAnalyzer.flow_closure`;
+    only the bookkeeping differs.
+    """
+    parent: Dict[str, Tuple[str, FrozenSet[str]]] = {}
+    seen: Set[str] = set()
+    frontier: List[str] = list(seeds)
+    while frontier:
+        uid = frontier.pop()
+        for edge in analyzer.flow_dependents(uid):
+            if edge.dst not in seen:
+                seen.add(edge.dst)
+                parent[edge.dst] = (edge.src, edge.objects)
+                frontier.append(edge.dst)
+    infected = frozenset(seen) - seeds
+    for uid in sorted(infected):
+        chain: List[str] = []
+        objects = parent[uid][1]
+        cur = uid
+        while cur in parent and parent[cur][0] not in chain:
+            src = parent[cur][0]
+            chain.append(src)
+            cur = src
+            if cur in seeds:
+                break
+        trace.append(UndoDecision(
+            0.0, uid=uid, condition="T1.3",
+            via=tuple(reversed(chain)),
+            objects=tuple(sorted(objects)),
+        ))
+    return infected
+
+
 def find_undo_tasks(
     analyzer: DependencyAnalyzer,
     malicious: Iterable[str],
+    trace: Optional[List[UndoDecision]] = None,
 ) -> UndoAnalysis:
     """Apply Theorem 1: find definite and candidate undo instances.
 
@@ -130,12 +174,26 @@ def find_undo_tasks(
         needed for control dependences and condition 4).
     malicious:
         Uids of the instances reported malicious (the set ``B``).
+    trace:
+        Optional provenance sink: when given, one
+        :class:`~repro.obs.events.UndoDecision` (time ``0.0`` — the
+        publisher stamps it) is appended per ``(instance, condition)``
+        that fired, carrying the dependency path and objects that
+        triggered it.  ``None`` (default) records nothing and costs
+        nothing.
     """
     log = analyzer.log
     bad_in_log = frozenset(u for u in malicious if u in log)
 
+    if trace is not None:
+        for bad in sorted(bad_in_log):
+            trace.append(UndoDecision(0.0, uid=bad, condition="T1.1"))
+
     # Condition 3: flow closure of B.
-    infected = analyzer.flow_closure(bad_in_log) - bad_in_log
+    if trace is not None:
+        infected = _traced_flow_closure(analyzer, bad_in_log, trace)
+    else:
+        infected = analyzer.flow_closure(bad_in_log) - bad_in_log
 
     closure = bad_in_log | infected
 
@@ -144,6 +202,10 @@ def find_undo_tasks(
     for bad in sorted(closure):
         for dep in analyzer.control_dependents(bad):
             control_candidates.add((bad, dep))
+            if trace is not None:
+                trace.append(UndoDecision(
+                    0.0, uid=dep, condition="T1.2", via=(bad,),
+                ))
 
     # Condition 4: readers of data an unexecuted alternative-path task
     # would write.
@@ -178,12 +240,23 @@ def find_undo_tasks(
             )
             for uid, objs in direct_readers:
                 stale.add(StaleReadCandidate(bad, t_k, uid, objs))
+                if trace is not None:
+                    trace.append(UndoDecision(
+                        0.0, uid=uid, condition="T1.4",
+                        via=(bad, t_k),
+                        objects=tuple(sorted(objs)),
+                    ))
             for uid in transitive:
                 if uid == bad:
                     continue
                 stale.add(
                     StaleReadCandidate(bad, t_k, uid, frozenset())
                 )
+                if trace is not None:
+                    trace.append(UndoDecision(
+                        0.0, uid=uid, condition="T1.4",
+                        via=(bad, t_k),
+                    ))
     return UndoAnalysis(
         malicious=bad_in_log,
         infected=frozenset(infected),
@@ -195,6 +268,7 @@ def find_undo_tasks(
 def find_redo_tasks(
     analyzer: DependencyAnalyzer,
     undo_set: Iterable[str],
+    trace: Optional[List[RedoDecision]] = None,
 ) -> RedoAnalysis:
     """Apply Theorem 2: split the undo set into definite and candidate
     redos.
@@ -205,6 +279,11 @@ def find_redo_tasks(
         Dependency analyzer over the system log.
     undo_set:
         The bad set ``B`` after Theorem 1 (definite undo instances).
+    trace:
+        Optional provenance sink: one
+        :class:`~repro.obs.events.RedoDecision` per instance, naming
+        the Theorem 2 condition (and for T2.2 the controlling bad
+        instances) that decided it.
     """
     bad = frozenset(undo_set)
     definite: Set[str] = set()
@@ -214,9 +293,16 @@ def find_redo_tasks(
         controllers.discard(uid)
         if not controllers:
             definite.add(uid)  # condition 1
+            if trace is not None:
+                trace.append(RedoDecision(0.0, uid=uid, condition="T2.1"))
         else:
             for ctrl in sorted(controllers):
                 candidates.add((ctrl, uid))  # condition 2
+            if trace is not None:
+                trace.append(RedoDecision(
+                    0.0, uid=uid, condition="T2.2",
+                    via=tuple(sorted(controllers)),
+                ))
     return RedoAnalysis(
         definite=frozenset(definite),
         candidates=frozenset(candidates),

@@ -23,6 +23,7 @@ __all__ = [
     "ModelError",
     "NotConvergedError",
     "SimulationError",
+    "ObsError",
 ]
 
 
@@ -104,3 +105,18 @@ class NotConvergedError(ModelError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator detected an inconsistent state."""
+
+
+# --------------------------------------------------------------------------
+# Observability
+# --------------------------------------------------------------------------
+
+
+class ObsError(ReproError):
+    """The observability layer was misused or a flight log is invalid.
+
+    Raised for span lifecycle violations (ending a span that is not the
+    innermost open one, or one already finished), corrupt or
+    wrong-schema flight-recorder logs, and provenance queries about
+    instances a log never mentions.
+    """

@@ -8,15 +8,24 @@ This package provides the measurement layer:
 - :mod:`repro.obs.events` — a process-local event bus with one typed
   event per pipeline happening (alert enqueued/lost, scan step, unit
   emitted, state transition, heal started/finished, task undone/redone,
-  normal task refused);
+  normal task refused) plus the provenance events (Theorem 1/2
+  undo/redo decisions, Theorem 3/4 order constraints, scheduler
+  dispatches);
 - :mod:`repro.obs.metrics` — counters, gauges (with high-water marks),
   and fixed-bucket histograms, plus :class:`PipelineMetrics`, a bus
   subscriber that derives the paper's quantities from the event stream;
 - :mod:`repro.obs.tracing` — span-based tracing with an injectable
   monotonic clock, so both simulated and wall time work, producing a
   span tree per incident (alert → scan → plan → undo → redo);
+- :mod:`repro.obs.recorder` — the flight recorder: versioned,
+  append-only JSONL capture of a full run, loadable back into typed
+  events;
+- :mod:`repro.obs.provenance` — deterministic replay of a flight log
+  (plan, partial order, schedule, metrics snapshot) and per-task causal
+  explanation;
 - :mod:`repro.obs.export` — JSON-lines event dumps, Prometheus-style
-  text rendering, and summary tables via :mod:`repro.report.tables`;
+  text rendering, Chrome-trace/Perfetto JSON, and summary tables via
+  :mod:`repro.report.tables`;
 - :mod:`repro.obs.runner` — instrumented end-to-end scenario drivers
   behind the ``repro-workflow obs`` CLI subcommand.
 
@@ -26,6 +35,7 @@ is attached.
 """
 
 from repro.obs.events import (
+    ActionDispatched,
     AlertEnqueued,
     AlertLost,
     EventBus,
@@ -34,16 +44,21 @@ from repro.obs.events import (
     HealStarted,
     NormalTaskRefused,
     ObsEvent,
+    OrderConstraint,
+    RedoDecision,
     ScanStep,
     StateTransition,
     TaskRedone,
     TaskUndone,
+    UndoDecision,
     UnitEmitted,
+    event_from_dict,
 )
 from repro.obs.export import (
     events_to_jsonl,
     metrics_table,
     render_prometheus,
+    spans_to_chrome_trace,
 )
 from repro.obs.metrics import (
     Counter,
@@ -51,6 +66,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     PipelineMetrics,
+)
+from repro.obs.provenance import ReplayedRun, build_span_tree, explain, replay
+from repro.obs.recorder import (
+    SCHEMA_VERSION,
+    FlightLog,
+    FlightRecorder,
+    load_flight_log,
+    read_flight_log,
 )
 from repro.obs.tracing import ManualClock, Span, Tracer, render_span_tree
 
@@ -67,8 +90,13 @@ __all__ = [
     "TaskUndone",
     "TaskRedone",
     "NormalTaskRefused",
+    "UndoDecision",
+    "RedoDecision",
+    "OrderConstraint",
+    "ActionDispatched",
     "EventBus",
     "EventRecorder",
+    "event_from_dict",
     # metrics
     "Counter",
     "Gauge",
@@ -80,8 +108,20 @@ __all__ = [
     "Span",
     "Tracer",
     "render_span_tree",
+    # recorder
+    "SCHEMA_VERSION",
+    "FlightRecorder",
+    "FlightLog",
+    "read_flight_log",
+    "load_flight_log",
+    # provenance
+    "ReplayedRun",
+    "replay",
+    "explain",
+    "build_span_tree",
     # export
     "events_to_jsonl",
     "render_prometheus",
     "metrics_table",
+    "spans_to_chrome_trace",
 ]

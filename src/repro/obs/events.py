@@ -27,6 +27,12 @@ __all__ = [
     "TaskUndone",
     "TaskRedone",
     "NormalTaskRefused",
+    "UndoDecision",
+    "RedoDecision",
+    "OrderConstraint",
+    "ActionDispatched",
+    "EVENT_TYPES",
+    "event_from_dict",
     "EventBus",
     "EventRecorder",
 ]
@@ -142,16 +148,29 @@ class HealFinished(ObsEvent):
 
 @dataclass(frozen=True)
 class TaskUndone(ObsEvent):
-    """The healer removed one task instance's effects."""
+    """The healer removed one task instance's effects.
+
+    ``reason`` distinguishes why: ``"closure"`` (Theorem 1 conditions
+    1/3, undone in Phase A), ``"stale-read"`` (condition 4 resolved at
+    settle time), or ``"abandoned"`` (the healed path no longer reaches
+    the record — Theorem 2's negative case).
+    """
 
     uid: str
+    reason: str = ""
 
 
 @dataclass(frozen=True)
 class TaskRedone(ObsEvent):
-    """The healer re-executed one task instance (redo or new path)."""
+    """The healer re-executed one task instance (redo or new path).
+
+    ``mode`` is ``"redo"`` for a re-execution at the original log
+    position and ``"new"`` for a first-time alternative-path execution
+    (Theorem 1 condition 4's ``t_k``).
+    """
 
     uid: str
+    mode: str = "redo"
 
 
 @dataclass(frozen=True)
@@ -159,6 +178,103 @@ class NormalTaskRefused(ObsEvent):
     """Strict correctness refused a normal task (Theorem 4's gate)."""
 
     state: str
+
+
+@dataclass(frozen=True)
+class UndoDecision(ObsEvent):
+    """Theorem 1 marked one instance for undo.
+
+    ``condition`` names the clause that fired (``"T1.1"`` directly
+    malicious, ``"T1.2"`` control candidate, ``"T1.3"`` infected via
+    data flow, ``"T1.4"`` stale-read candidate); ``via`` is the
+    dependency path from the triggering bad instance to ``uid`` (empty
+    for T1.1); ``objects`` the data objects realizing the dependence.
+    """
+
+    uid: str
+    condition: str
+    via: Tuple[str, ...] = ()
+    objects: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RedoDecision(ObsEvent):
+    """Theorem 2 marked one undone instance for redo.
+
+    ``condition`` is ``"T2.1"`` (not control dependent on another bad
+    instance — definitely redone) or ``"T2.2"`` (candidate, resolved by
+    re-execution); ``via`` holds the controlling bad instance(s) for
+    T2.2.
+    """
+
+    uid: str
+    condition: str
+    via: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class OrderConstraint(ObsEvent):
+    """One Theorem 3/4 edge materialized into a recovery partial order.
+
+    ``rule`` is the clause tag (``"T3.1"``–``"T3.5"``, ``"T4.1"``,
+    ``"T4.2"``, or ``"XU"`` for a cross-unit FIFO constraint against an
+    already-queued recovery unit); ``before``/``after`` are the action
+    strings (``"undo(wf1/t2#1)"``) the edge orders.
+    """
+
+    rule: str
+    before: str
+    after: str
+
+
+@dataclass(frozen=True)
+class ActionDispatched(ObsEvent):
+    """The partial-order scheduler dispatched one recovery action.
+
+    ``position`` is the 0-based slot in the realized linear extension;
+    ``satisfied`` lists the direct-predecessor actions whose completion
+    made this dispatch legal (the constraints actually applied).
+    """
+
+    action: str
+    position: int
+    satisfied: Tuple[str, ...] = ()
+
+
+#: Registry of every concrete event type by its ``kind`` name, used by
+#: the flight-recorder loader to rebuild typed events from JSONL.
+EVENT_TYPES: Dict[str, Type[ObsEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        AlertEnqueued, AlertLost, ScanStep, UnitEmitted, StateTransition,
+        HealStarted, HealFinished, TaskUndone, TaskRedone,
+        NormalTaskRefused, UndoDecision, RedoDecision, OrderConstraint,
+        ActionDispatched,
+    )
+}
+
+
+def event_from_dict(data: Dict[str, Any]) -> ObsEvent:
+    """Rebuild a typed event from its :meth:`ObsEvent.to_dict` form.
+
+    The inverse of the JSONL export: ``event_from_dict(e.to_dict())``
+    equals ``e`` for every registered event type.  Raises ``KeyError``
+    for unknown event kinds and ``TypeError`` for malformed fields, so
+    corrupt flight logs fail loudly instead of replaying wrong.
+    """
+    kind = data.get("event")
+    if kind not in EVENT_TYPES:
+        raise KeyError(f"unknown event kind {kind!r}")
+    cls = EVENT_TYPES[kind]
+    kwargs: Dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
 
 
 Handler = Callable[[ObsEvent], None]

@@ -1,0 +1,303 @@
+"""Recovery provenance: deterministic replay and causal explanation.
+
+A flight log (:mod:`repro.obs.recorder`) contains everything the
+pipeline decided and did: which Theorem 1/2 condition fired per
+undo/redo decision, which Theorem 3/4 rule added each ordering edge,
+which slot each action took in the realized schedule, and the raw
+pipeline events the metrics collector consumes.  This module turns a
+log back into:
+
+- :func:`replay` — the reconstructed run: recovery plan (undo/redo
+  sets), partial order (rule-tagged edge set), realized schedule, and a
+  freshly rebuilt :class:`~repro.obs.metrics.PipelineMetrics` that is
+  bit-for-bit equal to the live run's (same Prometheus exposition, same
+  summary rows);
+- :func:`explain` — the causal chain for one task instance: alert →
+  Theorem 1 condition (with the dependency path that carried the
+  infection) → Theorem 2 decision → ordering constraints → schedule
+  position → execution outcome;
+- :func:`build_span_tree` — a span tree reconstructed from the event
+  timeline, for the Chrome-trace exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ObsError
+from repro.obs.events import (
+    ActionDispatched,
+    AlertEnqueued,
+    AlertLost,
+    HealFinished,
+    HealStarted,
+    ObsEvent,
+    OrderConstraint,
+    RedoDecision,
+    ScanStep,
+    StateTransition,
+    TaskRedone,
+    TaskUndone,
+    UndoDecision,
+)
+from repro.obs.metrics import Gauge, PipelineMetrics
+from repro.obs.recorder import FlightLog
+from repro.obs.tracing import Span
+
+__all__ = ["ReplayedRun", "replay", "explain", "build_span_tree"]
+
+#: Theorem 1 conditions that make an undo *definite* (vs candidate).
+_DEFINITE_UNDO = ("T1.1", "T1.3")
+
+
+@dataclass
+class ReplayedRun:
+    """Everything :func:`replay` reconstructs from a flight log.
+
+    Attributes
+    ----------
+    header:
+        The log's header record (schema, label, meta).
+    events:
+        The typed event stream, in log order.
+    undo_decisions / redo_decisions / order_constraints / dispatches:
+        The provenance events, in decision order.
+    plan_undo / plan_redo:
+        The *definite* undo and redo sets of the reconstructed recovery
+        plan (Theorem 1 conditions 1/3; Theorem 2 condition 1).
+    undo_candidates / redo_candidates:
+        Instances whose undo/redo was conditional (T1.2/T1.4; T2.2).
+    order_edges:
+        The Theorem 3/4 partial order as ``(rule, before, after)``
+        triples over action strings.
+    schedule:
+        Action strings in realized dispatch order.
+    executed_undone / executed_redone:
+        ``uid → reason`` / ``uid → mode`` for what the healer actually
+        did (a candidate may be resolved either way).
+    metrics:
+        A fresh :class:`~repro.obs.metrics.PipelineMetrics` rebuilt by
+        re-feeding the event stream between the log's ``start`` and
+        ``finalize`` marks.
+    """
+
+    header: Dict[str, object]
+    events: List[ObsEvent]
+    undo_decisions: List[UndoDecision] = field(default_factory=list)
+    redo_decisions: List[RedoDecision] = field(default_factory=list)
+    order_constraints: List[OrderConstraint] = field(default_factory=list)
+    dispatches: List[ActionDispatched] = field(default_factory=list)
+    plan_undo: FrozenSet[str] = frozenset()
+    plan_redo: FrozenSet[str] = frozenset()
+    undo_candidates: FrozenSet[str] = frozenset()
+    redo_candidates: FrozenSet[str] = frozenset()
+    order_edges: FrozenSet[Tuple[str, str, str]] = frozenset()
+    schedule: Tuple[str, ...] = ()
+    executed_undone: Dict[str, str] = field(default_factory=dict)
+    executed_redone: Dict[str, str] = field(default_factory=dict)
+    metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
+
+
+def replay(log: FlightLog) -> ReplayedRun:
+    """Deterministically reconstruct a run from its flight log.
+
+    The metrics collector is rebuilt by replaying the captured events
+    through a fresh :class:`~repro.obs.metrics.PipelineMetrics`, with
+    the log's ``start``/``finalize`` marks driving dwell accounting —
+    exactly the inputs the live collector saw, so the replayed snapshot
+    renders the identical Prometheus exposition and summary rows.
+    """
+    run = ReplayedRun(header=dict(log.header), events=list(log.events))
+
+    start = log.mark("start")
+    if start is not None:
+        run.metrics.start(float(start["time"]),
+                          state=str(start.get("state", "NORMAL")))
+    for event in log.events:
+        run.metrics(event)
+        if isinstance(event, UndoDecision):
+            run.undo_decisions.append(event)
+        elif isinstance(event, RedoDecision):
+            run.redo_decisions.append(event)
+        elif isinstance(event, OrderConstraint):
+            run.order_constraints.append(event)
+        elif isinstance(event, ActionDispatched):
+            run.dispatches.append(event)
+        elif isinstance(event, TaskUndone):
+            run.executed_undone[event.uid] = event.reason
+        elif isinstance(event, TaskRedone):
+            run.executed_redone[event.uid] = event.mode
+    finalize = log.mark("finalize")
+    if finalize is not None:
+        run.metrics.finalize(float(finalize["time"]))
+        # Final gauge readings snapshotted by the recorder (gauges can
+        # move on un-evented operations like queue pops).
+        for name, value in (finalize.get("gauges") or {}).items():
+            gauge = run.metrics.registry.get(name)
+            if isinstance(gauge, Gauge):
+                gauge.set(float(value))
+
+    run.plan_undo = frozenset(
+        d.uid for d in run.undo_decisions if d.condition in _DEFINITE_UNDO
+    )
+    run.undo_candidates = frozenset(
+        d.uid for d in run.undo_decisions
+        if d.condition not in _DEFINITE_UNDO
+    ) - run.plan_undo
+    run.plan_redo = frozenset(
+        d.uid for d in run.redo_decisions if d.condition == "T2.1"
+    )
+    run.redo_candidates = frozenset(
+        d.uid for d in run.redo_decisions if d.condition == "T2.2"
+    )
+    run.order_edges = frozenset(
+        (c.rule, c.before, c.after) for c in run.order_constraints
+    )
+    # Log order is dispatch order (positions restart per recovery unit,
+    # so sorting by position would interleave units incorrectly).
+    run.schedule = tuple(d.action for d in run.dispatches)
+    return run
+
+
+def _mentions(action_str: str, uid: str) -> bool:
+    """Does an action string (``undo(uid)`` / ``redo(uid)`` / bare
+    normal uid) refer to ``uid``?"""
+    return action_str in (f"undo({uid})", f"redo({uid})", uid)
+
+
+def explain(log: FlightLog, uid: str) -> str:
+    """The causal chain that led to ``uid``'s recovery, as text.
+
+    Walks the provenance captured in ``log``: the triggering alert (or
+    the dependency path back to one), every Theorem 1/2 condition that
+    fired for ``uid``, every Theorem 3/4 ordering edge touching its
+    actions, its slot(s) in the realized schedule, and what the healer
+    finally did.  Raises :class:`~repro.errors.ObsError` when the log
+    never mentions ``uid``.
+    """
+    run = replay(log)
+    lines: List[str] = [uid]
+
+    alerted = {
+        e.uid for e in run.events if isinstance(e, AlertEnqueued)
+    }
+    if uid in alerted:
+        lines.append("  alert: reported malicious by the IDS")
+
+    undo_ds = [d for d in run.undo_decisions if d.uid == uid]
+    redo_ds = [d for d in run.redo_decisions if d.uid == uid]
+    for d in undo_ds:
+        desc = {
+            "T1.1": "directly malicious (Theorem 1 cond. 1)",
+            "T1.2": "control candidate (Theorem 1 cond. 2)",
+            "T1.3": "infected via data flow (Theorem 1 cond. 3)",
+            "T1.4": "stale-read candidate (Theorem 1 cond. 4)",
+        }.get(d.condition, d.condition)
+        line = f"  undo[{d.condition}]: {desc}"
+        if d.via:
+            line += " via " + " -> ".join(d.via + (uid,))
+        if d.objects:
+            line += " through objects {" + ", ".join(d.objects) + "}"
+        lines.append(line)
+        # Tie the chain back to its alert seed.
+        seed = d.via[0] if d.via else uid
+        if seed != uid and seed in alerted:
+            lines.append(f"    seeded by alert on {seed}")
+    for d in redo_ds:
+        desc = {
+            "T2.1": "not control dependent on another bad instance "
+                    "(Theorem 2 cond. 1) — definitely redone",
+            "T2.2": "control dependent on bad instance(s) "
+                    "(Theorem 2 cond. 2) — redo decided by re-execution",
+        }.get(d.condition, d.condition)
+        line = f"  redo[{d.condition}]: {desc}"
+        if d.via:
+            line += " [controlled by " + ", ".join(d.via) + "]"
+        lines.append(line)
+
+    edges = [
+        c for c in run.order_constraints
+        if _mentions(c.before, uid) or _mentions(c.after, uid)
+    ]
+    for c in edges:
+        lines.append(f"  order[{c.rule}]: {c.before} < {c.after}")
+
+    slots = [
+        d for d in run.dispatches if _mentions(d.action, uid)
+    ]
+    for d in slots:
+        line = f"  scheduled: {d.action} at position {d.position}"
+        if d.satisfied:
+            line += " after " + ", ".join(d.satisfied)
+        lines.append(line)
+
+    if uid in run.executed_undone:
+        reason = run.executed_undone[uid]
+        lines.append(f"  executed: undone"
+                     + (f" ({reason})" if reason else ""))
+    if uid in run.executed_redone:
+        mode = run.executed_redone[uid]
+        lines.append(f"  executed: redone"
+                     + (" (new path)" if mode == "new" else ""))
+
+    if len(lines) == 1:
+        raise ObsError(
+            f"flight log never mentions instance {uid!r} — nothing to "
+            "explain (known instances appear in undo/redo decisions, "
+            "order constraints, dispatches, or task events)"
+        )
+    return "\n".join(lines)
+
+
+def build_span_tree(log: FlightLog) -> List[Span]:
+    """Reconstruct a span tree from a flight log's event timeline.
+
+    The tree is derived, not recorded: one root span covering the run
+    (``start`` mark to ``finalize`` mark, falling back to first/last
+    event time), one child per contiguous state dwell, and one child
+    per heal (``HealStarted`` → ``HealFinished``).  Decision-level
+    events are better rendered as instants — pass ``log.events`` to
+    :func:`repro.obs.export.spans_to_chrome_trace` alongside the tree.
+    """
+    times = [e.time for e in log.events]
+    start = log.mark("start")
+    finalize = log.mark("finalize")
+    t0 = float(start["time"]) if start is not None else (
+        times[0] if times else 0.0
+    )
+    t1 = float(finalize["time"]) if finalize is not None else (
+        times[-1] if times else t0
+    )
+    root = Span("run", t0, {"label": log.label})
+    root.end = t1
+
+    state = str(start.get("state", "NORMAL")) if start is not None \
+        else "NORMAL"
+    since = t0
+    for event in log.events:
+        if isinstance(event, StateTransition):
+            dwell = Span("state:" + (event.old_category or event.old),
+                         since)
+            dwell.end = event.time
+            root.children.append(dwell)
+            state = event.new_category or event.new
+            since = event.time
+    closing = Span("state:" + state, since)
+    closing.end = t1
+    root.children.append(closing)
+
+    open_heal: Optional[Span] = None
+    for event in log.events:
+        if isinstance(event, HealStarted):
+            open_heal = Span("heal", event.time,
+                             {"malicious": ", ".join(event.malicious)})
+        elif isinstance(event, HealFinished) and open_heal is not None:
+            open_heal.end = event.time
+            open_heal.set_attribute("undone", event.undone)
+            open_heal.set_attribute("redone", event.redone)
+            root.children.append(open_heal)
+            open_heal = None
+    if open_heal is not None:  # crashed mid-heal: keep it, unfinished
+        root.children.append(open_heal)
+    return [root]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.errors import RecoveryError
 from repro.ids.alerts import Alert
@@ -24,6 +24,7 @@ from repro.obs.events import (
     TaskUndone,
 )
 from repro.obs.metrics import PipelineMetrics
+from repro.obs.recorder import FlightRecorder
 from repro.obs.tracing import ManualClock, Span, Tracer
 
 __all__ = [
@@ -93,6 +94,7 @@ def run_figure1_observed(
     scan_time: float = 1.0 / 15.0,
     task_time: float = 1.0 / 20.0,
     inter_arrival: float = 0.05,
+    flight: Optional[FlightRecorder] = None,
 ) -> ObsRun:
     """The paper's Figure 1 attack, driven through the Figure 2
     architecture with full observability.
@@ -108,6 +110,10 @@ def run_figure1_observed(
     Raises :class:`~repro.errors.RecoveryError` when the recovery
     buffer is too small to admit every queued alert (the paper's
     analyzer-blocked overflow).
+
+    Passing a :class:`~repro.obs.recorder.FlightRecorder` as ``flight``
+    captures the run — events plus ``start``/``finalize`` marks — so
+    :func:`repro.obs.provenance.replay` can reconstruct it exactly.
     """
     from repro.scenarios.figure1 import build_figure1
     from repro.system import SelfHealingSystem, SystemState
@@ -118,6 +124,8 @@ def run_figure1_observed(
     bus.subscribe(SimTimeDriver(clock, scan_time, task_time))
     metrics = PipelineMetrics().attach(bus)
     recorder = EventRecorder().attach(bus)
+    if flight is not None:
+        flight.attach(bus)
     tracer = Tracer(clock)
 
     system = SelfHealingSystem(
@@ -128,6 +136,8 @@ def run_figure1_observed(
     metrics.bind_queue(system.alert_queue, "alert")
     metrics.bind_queue(system.recovery_queue, "recovery")
     metrics.start(clock.now)
+    if flight is not None:
+        flight.mark("start", clock.now, state="NORMAL")
 
     report = None
     with tracer.span("incident", scenario="figure1"):
@@ -165,6 +175,14 @@ def run_figure1_observed(
                 child.end = times[-1] + task_time
                 heal_span.children.append(child)
     metrics.finalize(clock.now)
+    if flight is not None:
+        # Queue-depth gauges are driven by queue hooks (pops included),
+        # which the event stream cannot see; snapshot their final
+        # values into the mark so replay lands on the same reading.
+        flight.mark("finalize", clock.now, gauges={
+            "repro_alert_queue_depth": metrics.alert_depth.value,
+            "repro_recovery_queue_depth": metrics.recovery_depth.value,
+        })
 
     return ObsRun(
         metrics=metrics,
@@ -271,19 +289,31 @@ def run_fullstack_observed(
     config=None,
     horizon: float = 60.0,
     seed: int = 0,
+    flight: Optional[FlightRecorder] = None,
 ) -> ObsRun:
     """A full-stack timed run (real attacks, analyzer, healer) with the
-    observability harness attached."""
+    observability harness attached.
+
+    Passing a :class:`~repro.obs.recorder.FlightRecorder` as ``flight``
+    captures the run for deterministic replay; all timestamps are
+    simulated time, so the log depends only on ``(config, horizon,
+    seed)``.
+    """
     from repro.sim.fullstack import FullStackConfig, FullStackSimulator
 
     cfg = config if config is not None else FullStackConfig()
     bus = EventBus()
     metrics = PipelineMetrics().attach(bus)
     recorder = EventRecorder().attach(bus)
-    metrics.start(0.0, state="NORMAL")
+    if flight is not None:
+        flight.attach(bus)
+        flight.mark("start", 0.0, state="NORMAL")
     sim = FullStackSimulator(cfg, random.Random(seed), bus=bus)
+    metrics.start(0.0, state="NORMAL")
     result = sim.run(horizon=horizon)
     metrics.finalize(horizon)
+    if flight is not None:
+        flight.mark("finalize", horizon)
     return ObsRun(
         metrics=metrics,
         events=list(recorder.events),

@@ -14,7 +14,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ObsError
 
 __all__ = ["Clock", "ManualClock", "Span", "Tracer", "render_span_tree"]
 
@@ -121,13 +121,25 @@ class Tracer:
         return span
 
     def end_span(self, span: Optional[Span] = None) -> Span:
-        """Close the innermost span (must be ``span`` when given)."""
+        """Close the innermost span (must be ``span`` when given).
+
+        Raises :class:`~repro.errors.ObsError` when no span is open,
+        when ``span`` is already finished, or when ``span`` is not the
+        innermost open one — each a lifecycle bug at the caller worth
+        failing loudly over (a silently misclosed tree renders wrong).
+        """
+        if span is not None and span.finished:
+            raise ObsError(
+                f"span {span.name!r} already finished "
+                f"(ended at {span.end:g}); end_span must be called "
+                "exactly once per span"
+            )
         if not self._stack:
-            raise ReproError("no open span to end")
+            raise ObsError("no open span to end")
         top = self._stack.pop()
         if span is not None and span is not top:
             self._stack.append(top)
-            raise ReproError(
+            raise ObsError(
                 f"span nesting violated: ending {span.name!r} while "
                 f"{top.name!r} is innermost"
             )

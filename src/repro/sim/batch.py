@@ -93,9 +93,11 @@ def _timed_fullstack(
     config: FullStackConfig,
     horizon: float,
     seed: int,
+    record_path: Optional[str] = None,
 ) -> Tuple[FullStackResult, float]:
     t0 = time.perf_counter()
-    result = fullstack.run_replication(config, horizon, seed)
+    result = fullstack.run_replication(config, horizon, seed,
+                                       record_path=record_path)
     return result, time.perf_counter() - t0
 
 
@@ -333,15 +335,29 @@ def run_fullstack_batch(
     replications: int,
     workers: int = 1,
     seed: int = 0,
+    record_dir: Optional[str] = None,
 ) -> FullStackBatchResult:
     """Run ``replications`` independent full-stack simulations; same
-    contract as :func:`run_gillespie_batch`."""
+    contract as :func:`run_gillespie_batch`.
+
+    With ``record_dir``, every replication writes a flight-recorder log
+    to ``<record_dir>/rep-NNNN.jsonl`` (seed and config in the header).
+    Flight logs carry only simulated time, so the files — like the
+    results — are bit-identical across worker counts.
+    """
     _validate(replications, workers, horizon)
     seeds = spawn_seeds(seed, replications)
+    record_paths: List[Optional[str]] = [None] * replications
+    if record_dir is not None:
+        os.makedirs(record_dir, exist_ok=True)
+        record_paths = [
+            os.path.join(record_dir, f"rep-{i:04d}.jsonl")
+            for i in range(replications)
+        ]
     t0 = time.perf_counter()
     outcomes = _fan_out(
         _timed_fullstack,
-        [(config, horizon, s) for s in seeds],
+        [(config, horizon, s, p) for s, p in zip(seeds, record_paths)],
         workers,
     )
     elapsed = time.perf_counter() - t0

@@ -64,16 +64,41 @@ def run_replication(
     horizon: float,
     seed: int,
     bus: Optional[EventBus] = None,
+    record_path: Optional[str] = None,
 ) -> "FullStackResult":
     """One seeded full-stack replication.
 
     Module-level (hence picklable) entry point used by
     :mod:`repro.sim.batch`; the frozen :class:`FullStackConfig` plus a
-    seed fully determine the run.
+    seed fully determine the run.  With ``record_path``, a
+    :class:`~repro.obs.recorder.FlightRecorder` captures the run's full
+    event stream to that file; every timestamp is simulated time, so
+    the file is a pure function of ``(config, horizon, seed)`` —
+    byte-identical no matter which process or worker pool produced it.
     """
-    return FullStackSimulator(config, random.Random(seed), bus=bus).run(
-        horizon
-    )
+    from dataclasses import asdict
+
+    from repro.obs.recorder import FlightRecorder
+
+    recorder: Optional[FlightRecorder] = None
+    if record_path is not None:
+        if bus is None:
+            bus = EventBus()
+        recorder = FlightRecorder(
+            label="fullstack", path=record_path,
+            meta={"seed": seed, "horizon": horizon,
+                  "config": asdict(config) if config is not None else {}},
+        ).attach(bus)
+        recorder.mark("start", 0.0, state="NORMAL")
+    try:
+        result = FullStackSimulator(config, random.Random(seed),
+                                    bus=bus).run(horizon)
+        if recorder is not None:
+            recorder.mark("finalize", horizon)
+    finally:
+        if recorder is not None:
+            recorder.close()
+    return result
 
 
 @dataclass(frozen=True)
@@ -348,6 +373,17 @@ class FullStackSimulator:
             nonlocal recovering
             account()
             recovering = False
+            if bus is not None:
+                # Realized dispatch order of the drained units, FIFO
+                # across units, Theorem 3 order within each.
+                from repro.workflow.scheduler import PartialOrderScheduler
+
+                now = min(sim.now, horizon)
+                for plan in unit_queue:
+                    PartialOrderScheduler(
+                        plan.order, executor=lambda action: None,
+                        bus=bus, clock=lambda: now,
+                    ).run()
             for plan in unit_queue:
                 executed_uids.extend(plan.alert_uids)
             unit_queue.clear()

@@ -225,13 +225,16 @@ class SelfHealingSystem:
         if self.state is not SystemState.RECOVERY:
             return None
         uids: List[str] = []
+        plans: List[RecoveryPlan] = []
         while self._plans:
             plan = self._plans.pop()
+            plans.append(plan)
             uids.extend(plan.alert_uids)
         observed = self._bus is not None and self._bus.active
         started = self._clock() if observed else 0.0
         if observed:
             self._bus.publish(HealStarted(started, malicious=tuple(uids)))
+            self._publish_schedule(plans)
         healer = Healer(self._store, self._log, self._specs,
                         bus=self._bus, clock=self._clock)
         report = healer.heal(uids)
@@ -249,6 +252,24 @@ class SelfHealingSystem:
             ))
             self._note_state()
         return report
+
+    def _publish_schedule(self, plans: List[RecoveryPlan]) -> None:
+        """Emit the realized dispatch order of the batch's recovery
+        actions as :class:`~repro.obs.events.ActionDispatched` events.
+
+        Each plan's Theorem 3 order is driven through the instrumented
+        :class:`~repro.workflow.scheduler.PartialOrderScheduler` with a
+        no-op executor (units dispatch FIFO, respecting the cross-unit
+        constraints); deterministic tie-breaking makes the published
+        schedule a pure function of the plans.
+        """
+        from repro.workflow.scheduler import PartialOrderScheduler
+
+        for plan in plans:
+            PartialOrderScheduler(
+                plan.order, executor=lambda action: None,
+                bus=self._bus, clock=self._clock,
+            ).run()
 
     def normal_task_admissible(self) -> bool:
         """May a normal task run right now?

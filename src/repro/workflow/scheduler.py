@@ -11,6 +11,7 @@ and records the order actually taken.
 from __future__ import annotations
 
 import random
+import time as _time
 from typing import (
     Callable,
     Generic,
@@ -23,6 +24,7 @@ from typing import (
 )
 
 from repro.errors import CyclicOrderError
+from repro.obs.events import ActionDispatched, EventBus
 from repro.workflow.precedence import PartialOrder, minimal
 
 __all__ = ["PartialOrderScheduler"]
@@ -45,6 +47,15 @@ class PartialOrderScheduler(Generic[T]):
         Randomizes tie-breaking among minimal elements (the paper:
         "we randomly select one qualified result"); deterministic
         (sorted by ``repr``) when omitted.
+    bus:
+        Optional :class:`repro.obs.events.EventBus`; when attached,
+        every dispatch publishes an
+        :class:`~repro.obs.events.ActionDispatched` naming the element,
+        its slot in the realized linear extension, and the
+        direct-predecessor constraints its dispatch satisfied.
+    clock:
+        Timestamp source for published events (default
+        ``time.monotonic``).
     """
 
     def __init__(
@@ -52,11 +63,15 @@ class PartialOrderScheduler(Generic[T]):
         order: PartialOrder[T],
         executor: Callable[[T], None],
         rng: Optional[random.Random] = None,
+        bus: Optional[EventBus] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         order.check_acyclic()
         self._order = order
         self._executor = executor
         self._rng = rng
+        self._bus = bus if bus is not None and bus.active else None
+        self._clock = clock if clock is not None else _time.monotonic
         self._executed: List[T] = []
 
     @property
@@ -87,6 +102,15 @@ class PartialOrderScheduler(Generic[T]):
             )
         chosen = minimal(candidates, self._order, rng=self._rng)
         self._executor(chosen)
+        if self._bus is not None and self._bus.active:
+            self._bus.publish(ActionDispatched(
+                self._clock(),
+                action=str(chosen),
+                position=len(self._executed),
+                satisfied=tuple(sorted(
+                    str(p) for p in self._order.direct_predecessors(chosen)
+                )),
+            ))
         self._executed.append(chosen)
         return chosen
 

@@ -290,3 +290,76 @@ class TestWorkflowDot:
         path.write_text("{}")
         with pytest.raises(WorkflowSpecError):
             main(["workflow-dot", str(path)])
+
+
+class TestObsFlightVerbs:
+    """The flight-recorder CLI: record | replay | explain | trace."""
+
+    def test_record_to_file_then_replay(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["obs", "record", "--log", str(path)]) == 0
+        assert "flight-log records written to" in capsys.readouterr().out
+        first = path.read_text().splitlines()[0]
+        import json
+
+        header = json.loads(first)
+        assert header["record"] == "header" and header["schema"] == 1
+
+        assert main(["obs", "replay", "--log", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Replayed flight log" in out
+        assert "undo set (definite): " in out
+        assert "wf1/t1#1" in out
+        assert "realized schedule: " in out
+        assert "Replayed pipeline metrics" in out
+
+    def test_record_to_stdout(self, capsys):
+        assert main(["obs", "record"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith('{"label":"figure1"')
+
+    def test_record_gillespie_rejected(self, capsys):
+        code = main(["obs", "record", "--scenario", "gillespie"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "no recovery pipeline to record" in captured.err
+
+    def test_explain_fresh_run(self, capsys):
+        assert main(["obs", "explain", "wf1/t6#1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("wf1/t6#1")
+        assert "undo[T1.4]: stale-read candidate" in out
+
+    def test_explain_without_target_exits_three(self, capsys):
+        code = main(["obs", "explain"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "needs a task instance uid" in captured.err
+
+    def test_explain_unknown_uid_exits_three(self, capsys):
+        code = main(["obs", "explain", "nope/x#9"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "never mentions" in captured.err
+
+    def test_trace_to_file_is_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["obs", "trace", "--out", str(out_path)]) == 0
+        assert "Chrome trace written to" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        for entry in doc["traceEvents"]:
+            assert "ph" in entry and "ts" in entry and "pid" in entry
+
+    def test_trace_to_stdout(self, capsys):
+        import json
+
+        assert main(["obs", "trace"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert any(e["name"] == "run" for e in doc["traceEvents"])
+
+    def test_report_remains_the_default_action(self, capsys):
+        assert main(["obs", "--scenario", "figure1"]) == 0
+        assert "Observed figure1 incident" in capsys.readouterr().out

@@ -82,3 +82,81 @@ class TestMetricsTable:
         assert "demo metrics" in text
         assert "alerts lost" in text
         assert "dwell[NORMAL] total" in text
+
+
+class TestExpositionEdgeCases:
+    def test_non_finite_samples_use_exposition_spellings(self):
+        r = MetricsRegistry()
+        r.gauge("repro_pos").set(float("inf"))
+        r.gauge("repro_neg").set(float("-inf"))
+        r.gauge("repro_nan").set(float("nan"))
+        text = render_prometheus(r)
+        assert "repro_pos +Inf" in text
+        assert "repro_pos_high_water +Inf" in text
+        assert "repro_neg -Inf" in text
+        assert "repro_nan NaN" in text
+        # int(inf) raises OverflowError; the renderer must not.
+        assert "OverflowError" not in text
+
+    def test_label_values_escaped(self):
+        r = MetricsRegistry()
+        r.counter("repro_weird_total",
+                  labels={"path": 'a\\b"c\nd'}).inc()
+        text = render_prometheus(r)
+        assert 'path="a\\\\b\\"c\\nd"' in text
+        assert "\n\n" not in text  # the raw newline never leaks
+
+    def test_help_text_escaped(self):
+        r = MetricsRegistry()
+        r.counter("repro_h_total", help="line1\nline2 \\ slash").inc()
+        text = render_prometheus(r)
+        assert "# HELP repro_h_total line1\\nline2 \\\\ slash" in text
+
+
+class TestChromeTrace:
+    def _spans(self):
+        from repro.obs.tracing import Span
+
+        root = Span("run", 0.0, {"label": "demo"})
+        root.end = 2.0
+        child = Span("heal", 0.5)
+        child.end = 1.25
+        root.children.append(child)
+        dangling = Span("crashed", 1.5)  # never finished
+        return [root], dangling
+
+    def test_finished_spans_are_complete_events(self):
+        from repro.obs.export import spans_to_chrome_trace
+
+        roots, _ = self._spans()
+        doc = json.loads(spans_to_chrome_trace(roots))
+        assert doc["displayTimeUnit"] == "ms"
+        run, heal = doc["traceEvents"]
+        assert run == {"name": "run", "ph": "X", "ts": 0.0,
+                       "dur": 2000000.0, "pid": 1, "tid": 1,
+                       "args": {"label": "demo"}}
+        assert heal["ph"] == "X" and heal["ts"] == 500000.0
+        assert heal["dur"] == 750000.0
+
+    def test_unfinished_span_is_begin_event(self):
+        from repro.obs.export import spans_to_chrome_trace
+
+        roots, dangling = self._spans()
+        roots[0].children.append(dangling)
+        (entry,) = [e for e in
+                    json.loads(spans_to_chrome_trace(roots))["traceEvents"]
+                    if e["name"] == "crashed"]
+        assert entry["ph"] == "B" and "dur" not in entry
+
+    def test_events_render_as_instants_on_track_zero(self):
+        from repro.obs.export import spans_to_chrome_trace
+
+        roots, _ = self._spans()
+        doc = json.loads(spans_to_chrome_trace(
+            roots, [AlertEnqueued(0.75, uid="w/t1#1", queue_depth=2)]
+        ))
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "AlertEnqueued"
+        assert instant["tid"] == 0 and instant["s"] == "t"
+        assert instant["ts"] == 750000.0
+        assert instant["args"] == {"uid": "w/t1#1", "queue_depth": "2"}

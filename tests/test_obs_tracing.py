@@ -104,3 +104,37 @@ class TestRenderSpanTree:
         tracer = Tracer(ManualClock())
         tracer.start_span("pending")
         assert "(open)" in render_span_tree(tracer.roots)
+
+
+class TestEndSpanHardening:
+    def test_double_end_raises_obs_error(self):
+        from repro.errors import ObsError
+
+        tracer = Tracer(ManualClock())
+        span = tracer.start_span("once")
+        tracer.end_span(span)
+        with pytest.raises(ObsError, match="already finished"):
+            tracer.end_span(span)
+
+    def test_finished_span_error_even_with_other_spans_open(self):
+        from repro.errors import ObsError
+
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("outer"):
+            inner = tracer.start_span("inner")
+            clock.advance(0.25)
+            tracer.end_span(inner)
+            with pytest.raises(ObsError, match="already finished"):
+                tracer.end_span(inner)
+        # The erroneous call must not have closed "outer" in inner's
+        # stead: its duration covers the full block.
+        (outer,) = tracer.roots
+        assert outer.finished
+
+    def test_lifecycle_errors_are_obs_errors(self):
+        from repro.errors import ObsError, ReproError
+
+        assert issubclass(ObsError, ReproError)
+        with pytest.raises(ObsError):
+            Tracer(ManualClock()).end_span()

@@ -1,0 +1,173 @@
+"""Acceptance tests for the flight recorder + provenance replay.
+
+The contract under test (ISSUE 3): for the Figure 1 scenario and a
+bursty full-stack run, ``replay(record(run))`` reproduces the recovery
+plan, the Theorem 3/4 partial order, and the final metrics snapshot
+**bit-for-bit** from the log alone; the exported Chrome-trace JSON is
+schema-valid; and ``explain`` walks a real causal chain.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.events import (
+    ActionDispatched,
+    OrderConstraint,
+    RedoDecision,
+    UndoDecision,
+)
+from repro.obs.export import render_prometheus, spans_to_chrome_trace
+from repro.obs.provenance import build_span_tree, explain, replay
+from repro.obs.recorder import FlightRecorder, read_flight_log
+from repro.obs.runner import run_figure1_observed, run_fullstack_observed
+from repro.sim.fullstack import FullStackConfig
+
+BURSTY = FullStackConfig(arrival_rate=4.0, alert_buffer=3,
+                         recovery_buffer=3)
+
+
+def record_figure1():
+    flight = FlightRecorder(label="figure1", meta={"false_alarms": 2})
+    run = run_figure1_observed(flight=flight)
+    flight.close()
+    return read_flight_log(flight.text()), run
+
+
+def record_fullstack(config=BURSTY, horizon=30.0, seed=3):
+    flight = FlightRecorder(
+        label="fullstack",
+        meta={"seed": seed, "horizon": horizon},
+    )
+    run = run_fullstack_observed(config, horizon=horizon, seed=seed,
+                                 flight=flight)
+    flight.close()
+    return read_flight_log(flight.text()), run
+
+
+class TestRoundTrip:
+    """replay(record(run)) == run, bit for bit."""
+
+    @pytest.mark.parametrize("record", [record_figure1,
+                                        record_fullstack],
+                             ids=["figure1", "bursty-fullstack"])
+    def test_metrics_snapshot_bit_for_bit(self, record):
+        log, live = record()
+        replayed = replay(log)
+        assert render_prometheus(replayed.metrics.registry) == \
+            render_prometheus(live.metrics.registry)
+        assert replayed.metrics.summary_rows() == \
+            live.metrics.summary_rows()
+
+    @pytest.mark.parametrize("record", [record_figure1,
+                                        record_fullstack],
+                             ids=["figure1", "bursty-fullstack"])
+    def test_plan_order_and_schedule_match_live_events(self, record):
+        log, live = record()
+        replayed = replay(log)
+        # The replayed provenance equals what the live bus published.
+        live_undo = [e for e in live.events
+                     if isinstance(e, UndoDecision)]
+        live_redo = [e for e in live.events
+                     if isinstance(e, RedoDecision)]
+        live_edges = {(e.rule, e.before, e.after) for e in live.events
+                      if isinstance(e, OrderConstraint)}
+        live_schedule = tuple(e.action for e in live.events
+                              if isinstance(e, ActionDispatched))
+        assert replayed.undo_decisions == live_undo
+        assert replayed.redo_decisions == live_redo
+        assert replayed.order_edges == live_edges
+        assert replayed.schedule == live_schedule
+
+    def test_figure1_plan_sets(self):
+        log, _ = record_figure1()
+        run = replay(log)
+        assert run.plan_undo == {"wf1/t1#1", "wf1/t2#1", "wf1/t4#1",
+                                 "wf2/t8#1", "wf2/t10#1"}
+        assert run.undo_candidates == {"wf1/t3#1", "wf1/t6#1"}
+        assert run.plan_redo == {"wf1/t1#1", "wf1/t2#1", "wf2/t8#1",
+                                 "wf2/t10#1"}  # t4 not definitely redone
+        assert run.order_edges and run.schedule
+        # Definite undos were all executed; log and plan agree.
+        assert run.plan_undo <= set(run.executed_undone)
+        # Single heal, no task reuse: the realized schedule respects
+        # every replayed Theorem 3/4 edge (across multiple heals the
+        # same action string can recur, so this global check is only
+        # sound here).
+        position = {a: i for i, a in enumerate(run.schedule)}
+        constrained = 0
+        for _, before, after in run.order_edges:
+            if before in position and after in position:
+                assert position[before] < position[after]
+                constrained += 1
+        assert constrained > 0
+
+    def test_recording_is_deterministic(self):
+        (log_a, _), (log_b, _) = record_fullstack(), record_fullstack()
+        text = lambda log: "\n".join(  # noqa: E731
+            e.kind + repr(sorted(e.to_dict().items()))
+            for e in log.events
+        )
+        assert text(log_a) == text(log_b)
+        assert log_a.header == log_b.header
+
+
+class TestChromeTrace:
+    @pytest.mark.parametrize("record", [record_figure1,
+                                        record_fullstack],
+                             ids=["figure1", "bursty-fullstack"])
+    def test_trace_json_is_schema_valid(self, record):
+        log, _ = record()
+        doc = json.loads(
+            spans_to_chrome_trace(build_span_tree(log), log.events)
+        )
+        events = doc["traceEvents"]
+        assert events
+        for entry in events:
+            assert entry["ph"] in {"X", "B", "i"}
+            assert isinstance(entry["ts"], (int, float))
+            assert isinstance(entry["pid"], int)
+            if entry["ph"] == "X":
+                assert entry["dur"] >= 0
+        # One root "run" span plus at least one state dwell.
+        names = [e["name"] for e in events]
+        assert "run" in names
+        assert any(n.startswith("state:") for n in names)
+
+    def test_span_tree_covers_run_and_heals(self):
+        log, live = record_figure1()
+        (root,) = build_span_tree(log)
+        assert root.name == "run" and root.finished
+        heals = [s for s in root.children if s.name == "heal"]
+        assert heals and all(s.finished for s in heals)
+        assert all(root.start <= s.start and s.end <= root.end
+                   for s in heals)
+
+
+class TestExplain:
+    def test_stale_read_chain(self):
+        log, _ = record_figure1()
+        text = explain(log, "wf1/t6#1")
+        assert text.splitlines()[0] == "wf1/t6#1"
+        assert "undo[T1.4]: stale-read candidate" in text
+        assert "via" in text and "through objects" in text
+
+    def test_directly_malicious_chain(self):
+        log, _ = record_figure1()
+        text = explain(log, "wf1/t1#1")
+        assert "alert: reported malicious by the IDS" in text
+        assert "undo[T1.1]: directly malicious" in text
+        assert "executed: undone" in text
+
+    def test_flow_infected_task_names_its_path(self):
+        log, _ = record_figure1()
+        text = explain(log, "wf1/t2#1")
+        assert "undo[T1.3]: infected via data flow" in text
+        assert "redo[" in text
+        assert "scheduled: " in text
+
+    def test_unknown_uid_raises(self):
+        log, _ = record_figure1()
+        with pytest.raises(ObsError, match="never mentions"):
+            explain(log, "wf9/nope#1")

@@ -106,3 +106,65 @@ def test_seed_streams_order_independent(
 ) -> None:
     """Growing the replication count never changes earlier seeds."""
     assert spawn_seeds(base, m) == spawn_seeds(base, m + extra)[:m]
+
+
+class TestObservedBatchWorkerInvariance:
+    """Worker-count invariance must extend to the observability
+    outputs: flight-recorder files and merged metrics, not just the
+    numeric results, have to be identical for ``workers=K`` and
+    ``workers=1``."""
+
+    REPLICATIONS = 3
+    HORIZON = 20.0
+    SEED = 7
+
+    def _run(self, tmp_path, workers: int, tag: str):
+        from repro.sim.batch import run_fullstack_batch
+        from repro.sim.fullstack import FullStackConfig
+
+        record_dir = str(tmp_path / f"rec-{tag}")
+        batch = run_fullstack_batch(
+            FullStackConfig(arrival_rate=2.0, alert_buffer=3,
+                            recovery_buffer=3),
+            horizon=self.HORIZON, replications=self.REPLICATIONS,
+            workers=workers, seed=self.SEED, record_dir=record_dir,
+        )
+        logs = {
+            p.name: p.read_bytes()
+            for p in sorted((tmp_path / f"rec-{tag}").iterdir())
+        }
+        return batch, logs
+
+    def test_recorder_files_and_metrics_identical(self, tmp_path) -> None:
+        from repro.obs.export import render_prometheus
+        from repro.obs.metrics import PipelineMetrics
+        from repro.obs.provenance import replay
+        from repro.obs.recorder import read_flight_log
+
+        serial, serial_logs = self._run(tmp_path, 1, "serial")
+        parallel, parallel_logs = self._run(tmp_path, 2, "parallel")
+
+        assert serial.seeds == parallel.seeds
+        assert [r.attacks for r in serial.results] == \
+            [r.attacks for r in parallel.results]
+        assert sorted(serial_logs) == \
+            [f"rep-{i:04d}.jsonl" for i in range(self.REPLICATIONS)]
+        # The flight logs carry only simulated time, so parallelism
+        # must not change a single byte.
+        assert serial_logs == parallel_logs
+
+        def merged(logs) -> str:
+            metrics = PipelineMetrics()
+            for name in sorted(logs):
+                run = replay(read_flight_log(logs[name].decode()))
+                for state in run.metrics.dwell_states():
+                    metrics.observe_dwell(
+                        state, run.metrics.time_in_state(state)
+                    )
+                metrics.alerts_enqueued.inc(
+                    run.metrics.alerts_enqueued.value
+                )
+                metrics.alerts_lost.inc(run.metrics.alerts_lost.value)
+            return render_prometheus(metrics.registry)
+
+        assert merged(serial_logs) == merged(parallel_logs)
