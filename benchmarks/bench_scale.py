@@ -150,18 +150,28 @@ def bench_sim(
     horizon: float,
     workers: int,
 ) -> Dict[str, object]:
-    """1-vs-K-workers sweep over replication counts."""
+    """1-vs-K-workers sweep over replication counts.
+
+    Each batch rides a health monitor; besides the trajectory-identity
+    check, the merged conformance verdict must be bit-identical between
+    the serial and the parallel run — the worker-count invariance the
+    deterministic merge promises.
+    """
+    from repro.obs.health import ModelPrediction
+
     stg = RecoverySTG.paper_default(
         arrival_rate=ARRIVAL_RATE, buffer_size=8
     )
+    prediction = ModelPrediction.from_stg(stg)
     results = []
     for n in replication_counts:
         serial = run_gillespie_batch(
-            stg, horizon=horizon, replications=n, workers=1, seed=0
+            stg, horizon=horizon, replications=n, workers=1, seed=0,
+            health=prediction,
         )
         parallel = run_gillespie_batch(
             stg, horizon=horizon, replications=n, workers=workers,
-            seed=0
+            seed=0, health=prediction,
         )
         identical = (
             serial.seeds == parallel.seeds
@@ -170,6 +180,8 @@ def bench_sim(
                 for a, b in zip(serial.results, parallel.results)
             )
         )
+        conformance = parallel.conformance
+        conformance_identical = serial.conformance == conformance
         entry = {
             "replications": n,
             "horizon": horizon,
@@ -179,6 +191,9 @@ def bench_sim(
             "speedup": (serial.elapsed / parallel.elapsed
                         if parallel.elapsed > 0 else None),
             "results_identical": identical,
+            "conformance_identical": conformance_identical,
+            "conformance_verdict": conformance.verdict.value,
+            "drift_count": conformance.drift_count,
             "loss_time_fraction": parallel.loss_time_fraction,
             "loss_time_stderr": parallel.loss_time_stderr,
             "total_jumps": parallel.jumps,
@@ -186,7 +201,9 @@ def bench_sim(
         results.append(entry)
         print(f"  {n:>4} replications: serial {serial.elapsed:.2f}s, "
               f"{workers} workers {parallel.elapsed:.2f}s "
-              f"({entry['speedup']:.1f}x), identical={identical}")
+              f"({entry['speedup']:.1f}x), identical={identical}, "
+              f"conformance {conformance.verdict.value} "
+              f"(identical={conformance_identical})")
     return {
         "benchmark": "sim_batch",
         "arrival_rate": ARRIVAL_RATE,

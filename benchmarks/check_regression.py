@@ -93,7 +93,13 @@ def check_ctmc(fresh: dict, baseline: dict, tolerance: float,
 
 
 def check_sim(fresh: dict, baseline: dict, tolerance: float) -> List[str]:
-    """Failures found in the simulation batch sweep."""
+    """Failures found in the simulation batch sweep.
+
+    Rows may carry fields newer than the committed baseline (e.g. the
+    health-monitor ``conformance_*`` columns) — unknown keys are
+    ignored, and invariants on new keys only apply to rows that have
+    them, so a fresh sweep stays comparable to an older baseline.
+    """
     failures: List[str] = []
     for row in fresh["results"]:
         if not row.get("results_identical", False):
@@ -101,6 +107,13 @@ def check_sim(fresh: dict, baseline: dict, tolerance: float) -> List[str]:
                 f"sim replications={row['replications']}: parallel "
                 "results differ from serial (worker-count invariance "
                 "broke)"
+            )
+        if "conformance_identical" in row \
+                and not row["conformance_identical"]:
+            failures.append(
+                f"sim replications={row['replications']}: merged "
+                "conformance verdict differs between serial and "
+                "parallel (deterministic merge broke)"
             )
     base_by_reps: Dict[int, dict] = {
         row["replications"]: row for row in baseline["results"]

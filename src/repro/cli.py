@@ -240,11 +240,23 @@ def cmd_simulate(args) -> int:
     worker processes (K=1 runs inline, no pool) and merged; the
     printed occupancies are then means over replications and the loss
     probability carries a standard error.
+
+    ``--serve PORT`` (0 for an ephemeral port) rides a health monitor
+    on the run and then serves its telemetry over HTTP — ``/metrics``
+    (Prometheus), ``/healthz``, ``/slo`` — for ``--serve-for`` seconds.
+    ``--slo-loss`` overrides the loss-SLO objective (default: 3x the
+    model's predicted loss).
     """
     stg = _stg_from_args(args)
     backend = _backend_from_args(args)
     pi = steady_state(stg.ctmc(), backend=backend)
     cats = category_probabilities(stg, pi)
+
+    if args.serve is not None and args.replications > 1:
+        raise SimulationError(
+            "--serve monitors a single trajectory; drop --replications "
+            "or run them separately"
+        )
 
     if args.replications > 1:
         from repro.sim.batch import run_gillespie_batch
@@ -278,10 +290,28 @@ def cmd_simulate(args) -> int:
               f"{sum(batch.wall_times):.2f}s)")
         return 0
 
-    from repro.sim.ctmc_sim import GillespieSimulator
+    from repro.sim.ctmc_sim import run_replication
 
-    sim = GillespieSimulator(stg, random.Random(args.seed))
-    result = sim.run(horizon=args.horizon)
+    monitor = None
+    if args.serve is not None:
+        from repro.obs.events import EventBus
+        from repro.obs.health import (
+            HealthConfig,
+            HealthMonitor,
+            ModelPrediction,
+        )
+        from repro.obs.metrics import MetricsRegistry
+
+        prediction = ModelPrediction.from_stg(
+            stg, backend=backend, with_convergence=True,
+        )
+        config = HealthConfig(loss_objective=args.slo_loss) \
+            if args.slo_loss is not None else None
+        monitor = HealthMonitor(
+            prediction, config=config, registry=MetricsRegistry(),
+        ).attach(EventBus())
+    result = run_replication(stg, horizon=args.horizon, seed=args.seed,
+                             bus=monitor.bus if monitor else None)
     table = Table(
         f"Gillespie simulation of {stg!r} (horizon {args.horizon:g}, "
         f"seed {args.seed})",
@@ -298,6 +328,37 @@ def cmd_simulate(args) -> int:
     print(f"\nalerts: {result.arrivals} generated, "
           f"{result.arrivals_lost} lost "
           f"({result.alert_loss_fraction:.2%}); {result.jumps} jumps")
+
+    if monitor is not None:
+        return _serve_telemetry(args, monitor)
+    return 0
+
+
+def _serve_telemetry(args, monitor) -> int:
+    """Expose a finished run's health telemetry over HTTP.
+
+    Prints a parseable ``serving telemetry at <url>`` line (the CI
+    smoke test greps for it), then blocks for ``--serve-for`` seconds
+    (0: until interrupted).  Exit code 0 even on BREACH — the verdict
+    is the payload, not the process status.
+    """
+    import threading
+
+    from repro.obs.server import TelemetryServer
+
+    print(f"health verdict: {monitor.verdict.value}")
+    server = TelemetryServer(registry=monitor.registry, monitor=monitor,
+                             port=args.serve)
+    with server:
+        print(f"serving telemetry at {server.url}", flush=True)
+        print("endpoints: /metrics /healthz /slo", flush=True)
+        try:
+            if args.serve_for > 0:
+                threading.Event().wait(args.serve_for)
+            else:
+                threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
     return 0
 
 
@@ -326,21 +387,41 @@ def _obs_recorded_run(args, path: Optional[str] = None):
         from repro.obs.runner import run_fullstack_observed
         from repro.sim.fullstack import FullStackConfig
 
-        flight = FlightRecorder(
-            label="fullstack", path=path,
-            meta={"seed": args.seed, "horizon": args.horizon},
+        cfg = FullStackConfig(
+            arrival_rate=args.lam,
+            scan_time=1.0 / args.mu1,
+            unit_recovery_time=1.0 / args.xi1,
+            alert_buffer=args.alert_buffer or args.buffer,
+            recovery_buffer=args.buffer,
         )
+        meta = {"seed": args.seed, "horizon": args.horizon}
+        pred = None
+        health_config = None
+        if getattr(args, "health", False):
+            from repro.obs.health import HealthConfig, ModelPrediction
+
+            pred = ModelPrediction.from_stg(cfg.stg())
+            slo_loss = getattr(args, "slo_loss", None)
+            if slo_loss is not None:
+                health_config = HealthConfig(loss_objective=slo_loss)
+            # The model parameters go into the header so replay can
+            # rebuild the identical null model and re-derive verdicts.
+            meta["health"] = {
+                "arrival_rate": cfg.arrival_rate,
+                "scan_time": cfg.scan_time,
+                "unit_recovery_time": cfg.unit_recovery_time,
+                "alert_buffer": cfg.alert_buffer,
+                "recovery_buffer": cfg.recovery_buffer,
+                "loss_objective": slo_loss,
+            }
+        flight = FlightRecorder(label="fullstack", path=path, meta=meta)
         run = run_fullstack_observed(
-            FullStackConfig(
-                arrival_rate=args.lam,
-                scan_time=1.0 / args.mu1,
-                unit_recovery_time=1.0 / args.xi1,
-                alert_buffer=args.alert_buffer or args.buffer,
-                recovery_buffer=args.buffer,
-            ),
+            cfg,
             horizon=args.horizon,
             seed=args.seed,
             flight=flight,
+            health=pred,
+            health_config=health_config,
         )
     else:
         raise ObsError(
@@ -374,6 +455,59 @@ def _cmd_obs_record(args) -> int:
     return 0
 
 
+def _replay_verdict_check(log, run) -> None:
+    """When a flight log carries health-monitor verdicts, re-derive
+    them from the raw events and report whether they match.
+
+    Requires the log's ``meta.health`` model parameters (written by
+    ``obs record --scenario fullstack --health``); logs of unmonitored
+    runs print nothing.
+    """
+    from repro.obs.events import DriftDetected, SloTransition
+    from repro.obs.health import (
+        HealthConfig,
+        ModelPrediction,
+        replay_verdicts,
+    )
+    from repro.sim.fullstack import FullStackConfig
+
+    recorded = [e for e in run.events
+                if isinstance(e, (SloTransition, DriftDetected))]
+    health = log.meta.get("health")
+    if not recorded and not health:
+        return
+    print(f"  SLO verdicts: {len(run.slo_transitions)} transitions, "
+          f"{len(run.drifts)} drift alarms")
+    if not health:
+        print("  verdict replay: skipped (log header carries no "
+              "health model parameters)")
+        return
+    cfg = FullStackConfig(
+        arrival_rate=float(health["arrival_rate"]),
+        scan_time=float(health["scan_time"]),
+        unit_recovery_time=float(health["unit_recovery_time"]),
+        alert_buffer=int(health["alert_buffer"]),
+        recovery_buffer=int(health["recovery_buffer"]),
+    )
+    config = None
+    if health.get("loss_objective") is not None:
+        config = HealthConfig(
+            loss_objective=float(health["loss_objective"])
+        )
+    replayed = replay_verdicts(
+        run.events, ModelPrediction.from_stg(cfg.stg()), config=config,
+    )
+    identical = replayed == recorded
+    print(f"  verdict replay: {len(replayed)} re-derived, identical "
+          f"to recorded: {identical}")
+    if not identical:
+        raise ObsError(
+            "replayed SLO verdicts diverge from the recorded stream — "
+            "the flight log and the health model parameters in its "
+            "header do not describe the same run"
+        )
+
+
 def _cmd_obs_replay(args) -> int:
     from repro.obs.export import metrics_table, render_prometheus
     from repro.obs.provenance import replay
@@ -398,6 +532,7 @@ def _cmd_obs_replay(args) -> int:
           f"schedule: {len(run.schedule)} dispatches")
     if run.schedule:
         print("  realized schedule: " + " -> ".join(run.schedule))
+    _replay_verdict_check(log, run)
     print()
     print(metrics_table(run.metrics, "Replayed pipeline metrics")
           .render())
@@ -435,6 +570,119 @@ def _cmd_obs_trace(args) -> int:
     return 0
 
 
+def _cmd_obs_watch(args) -> int:
+    """Live SLO health monitoring against the calibrated CTMC.
+
+    Runs a Gillespie trajectory of the configured STG with a
+    :class:`~repro.obs.health.HealthMonitor` riding the event bus,
+    printing every SLO transition and drift alarm as it happens.  With
+    ``--attack-rate R`` the arrival rate steps to R at ``--horizon``
+    (for ``--attack-horizon`` further time units) — the live
+    demonstration that a mid-run λ change breaches model conformance.
+
+    Exit code 0 when the monitor behaved as the scenario demands: a
+    conformant run ends OK, an attacked run ends BREACH with at least
+    one drift alarm.
+    """
+    import dataclasses
+
+    from repro.obs.events import (
+        DriftDetected,
+        EventBus,
+        EventRecorder,
+        SloTransition,
+    )
+    from repro.obs.health import (
+        HealthConfig,
+        HealthMonitor,
+        ModelPrediction,
+    )
+    from repro.sim.ctmc_sim import GillespieSimulator
+
+    stg = _stg_from_args(args)
+    prediction = ModelPrediction.from_stg(
+        stg, backend=_backend_from_args(args), with_convergence=True,
+    )
+    config = HealthConfig(loss_objective=args.slo_loss) \
+        if args.slo_loss is not None else None
+
+    def _live(event) -> None:
+        if isinstance(event, DriftDetected):
+            print(f"t={event.time:9.3f}  drift[{event.detector}]: "
+                  f"statistic {event.statistic:.2f} > threshold "
+                  f"{event.threshold:.2f} ({event.signal})")
+        elif isinstance(event, SloTransition):
+            print(f"t={event.time:9.3f}  slo[{event.slo}]: "
+                  f"{event.old} -> {event.new} "
+                  f"(value {event.value:.4g}, "
+                  f"objective {event.objective:.4g})")
+
+    bus = EventBus()
+    monitor = HealthMonitor(prediction, config=config).attach(bus)
+    bus.subscribe(_live, types=[SloTransition, DriftDetected])
+
+    print(f"watching {stg!r} for {args.horizon:g} time units "
+          f"(seed {args.seed})")
+    if prediction.convergence_time is not None:
+        print(f"model: loss {prediction.loss_probability:.3e}, "
+              f"converges within {prediction.convergence_time:g} "
+              f"time units (Definition 4)")
+    GillespieSimulator(stg, random.Random(args.seed), bus=bus).run(
+        args.horizon
+    )
+
+    attacked = args.attack_rate is not None and args.attack_rate > 0
+    if attacked:
+        print(f"t={args.horizon:9.3f}  == arrival rate steps to "
+              f"{args.attack_rate:g} (model still calibrated for "
+              f"{args.lam:g}) ==")
+        attack_stg = RecoverySTG(
+            arrival_rate=args.attack_rate,
+            scan=power_law(args.mu1, args.alpha),
+            recovery=power_law(args.xi1, args.alpha),
+            recovery_buffer=args.buffer,
+            alert_buffer=args.alert_buffer,
+        )
+        # Simulate the attacked workload separately and feed its
+        # events, time-shifted, through the same monitor — the monitor
+        # never learns the rate changed, which is the point.
+        attack_bus = EventBus()
+        attack_rec = EventRecorder().attach(attack_bus)
+        GillespieSimulator(
+            attack_stg, random.Random(args.seed + 1), bus=attack_bus,
+        ).run(args.attack_horizon)
+        for event in attack_rec.events:
+            bus.publish(dataclasses.replace(
+                event, time=event.time + args.horizon
+            ))
+
+    summary = monitor.summary()
+    rates = summary["rates"]
+    table = Table("Live estimates vs calibrated CTMC",
+                  ["metric", "model", "measured"])
+    table.add_row("arrival rate", args.lam, rates["lambda_hat"])
+    table.add_row("scan rate (base)", args.mu1, rates["mu_hat"])
+    table.add_row("recovery rate (base)", args.xi1, rates["xi_hat"])
+    table.add_row("loss fraction", prediction.loss_probability,
+                  summary["loss"]["fraction"])
+    table.add_row("E[alerts queued]", prediction.expected_alerts,
+                  summary["occupancy"]["alert_mean"])
+    print()
+    print(table.render())
+    lo, hi = summary["loss"]["ci"]
+    print(f"\nloss 95% CI: [{lo:.3e}, {hi:.3e}] over "
+          f"{summary['loss']['window_arrivals']} windowed arrivals")
+    for name, slo in summary["slos"].items():
+        print(f"slo {name}: {slo['state']} "
+              f"(value {slo['value']:.4g}, "
+              f"objective {slo['objective']:.4g})")
+    verdict = monitor.verdict.value
+    print(f"verdict: {verdict}")
+    if attacked:
+        return 0 if (verdict == "BREACH" and monitor.drifts) else 1
+    return 0 if verdict == "OK" else 1
+
+
 def cmd_obs(args) -> int:
     """Observability: run a scenario instrumented ('report', the
     default), capture a replayable flight log ('record'), reconstruct a
@@ -456,6 +704,8 @@ def cmd_obs(args) -> int:
         return _cmd_obs_explain(args)
     if action == "trace":
         return _cmd_obs_trace(args)
+    if action == "watch":
+        return _cmd_obs_watch(args)
 
     if args.scenario == "figure1":
         from repro.obs.runner import run_figure1_observed
@@ -480,21 +730,36 @@ def cmd_obs(args) -> int:
         from repro.obs.runner import run_fullstack_observed
         from repro.sim.fullstack import FullStackConfig
 
+        cfg = FullStackConfig(
+            arrival_rate=args.lam,
+            scan_time=1.0 / args.mu1,
+            unit_recovery_time=1.0 / args.xi1,
+            alert_buffer=args.alert_buffer or args.buffer,
+            recovery_buffer=args.buffer,
+        )
+        pred = None
+        if getattr(args, "health", False):
+            from repro.obs.health import ModelPrediction
+
+            pred = ModelPrediction.from_stg(cfg.stg())
         run = run_fullstack_observed(
-            FullStackConfig(
-                arrival_rate=args.lam,
-                scan_time=1.0 / args.mu1,
-                unit_recovery_time=1.0 / args.xi1,
-                alert_buffer=args.alert_buffer or args.buffer,
-                recovery_buffer=args.buffer,
-            ),
+            cfg,
             horizon=args.horizon,
             seed=args.seed,
+            health=pred,
         )
         title = (f"Observed full-stack run "
                  f"(horizon {args.horizon:g}, seed {args.seed})")
 
     print(metrics_table(run.metrics, title).render())
+    if getattr(run, "monitor", None) is not None:
+        report = run.monitor.report()
+        print(f"\nhealth: verdict {report.verdict.value} — "
+              f"loss {report.loss_fraction:.3e} "
+              f"(model {report.predicted_loss:.3e}, "
+              f"objective {report.loss_objective:.3e}), "
+              f"{report.drift_count} drift alarm(s), "
+              f"{report.slo_transitions} SLO transition(s)")
     if run.spans:
         print("\nIncident span tree:")
         print(render_span_tree(run.spans))
@@ -627,17 +892,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="worker processes for the replication batch "
                         "(default 1: run inline, no pool)")
+    p.add_argument("--serve", type=int, metavar="PORT", default=None,
+                   help="after the run, serve health telemetry over "
+                        "HTTP on PORT (0: ephemeral) — /metrics, "
+                        "/healthz, /slo")
+    p.add_argument("--serve-for", type=float, metavar="SECONDS",
+                   default=60.0,
+                   help="how long to serve before exiting (default "
+                        "60; 0: until interrupted)")
+    p.add_argument("--slo-loss", type=float, default=None,
+                   help="explicit loss-SLO objective (default: 3x the "
+                        "model's predicted loss)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("obs", help=cmd_obs.__doc__)
     p.add_argument("action", nargs="?", default="report",
                    choices=["report", "record", "replay", "explain",
-                            "trace"],
+                            "trace", "watch"],
                    help="report (default): run and print metrics; "
                         "record: capture a flight log; replay: "
                         "reconstruct a run from one; explain <task>: "
                         "print a task's causal chain; trace: export "
-                        "Chrome-trace JSON")
+                        "Chrome-trace JSON; watch: live SLO health "
+                        "monitoring against the calibrated CTMC")
     p.add_argument("target", nargs="?", default=None,
                    help="task instance uid (explain action only)")
     _add_model_args(p)
@@ -663,6 +940,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", metavar="FILE", default=None,
                    help="dump the JSONL event log to FILE ('-' for "
                         "stdout)")
+    p.add_argument("--health", action="store_true",
+                   help="ride a health monitor on the run and record "
+                        "its SLO/drift verdicts into the flight log "
+                        "(record/report, fullstack scenario)")
+    p.add_argument("--slo-loss", type=float, default=None,
+                   help="explicit loss-SLO objective (watch; default: "
+                        "3x the model's predicted loss)")
+    p.add_argument("--attack-rate", type=float, default=None,
+                   help="step the arrival rate to this value at "
+                        "--horizon (watch): drift/BREACH demo")
+    p.add_argument("--attack-horizon", type=float, default=200.0,
+                   help="duration of the attacked segment (watch; "
+                        "default 200)")
     p.set_defaults(fn=cmd_obs)
 
     p = sub.add_parser("sensitivity", help=cmd_sensitivity.__doc__)

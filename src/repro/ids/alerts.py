@@ -23,6 +23,7 @@ from typing import (
 )
 
 from repro.errors import QueueFullError
+from repro.obs.events import EventBus, QueueItemDropped
 
 __all__ = ["Alert", "BoundedQueue"]
 
@@ -80,6 +81,9 @@ class BoundedQueue(Generic[T]):
         self._accepted = 0
         self._high_water = 0
         self._hook = hook
+        self._name = ""
+        self._bus: Optional[EventBus] = None
+        self._clock: Optional[Callable[[], float]] = None
 
     @property
     def capacity(self) -> int:
@@ -105,6 +109,22 @@ class BoundedQueue(Generic[T]):
         """Install (or, with ``None``, remove) the instrumentation hook."""
         self._hook = hook
 
+    def instrument(self, name: str, bus: Optional[EventBus],
+                   clock: Callable[[], float]) -> None:
+        """Make the queue publish a typed
+        :class:`~repro.obs.events.QueueItemDropped` on every rejection.
+
+        The queue itself owns the emission (not the code calling
+        ``offer``), so windowed loss estimators and the flight recorder
+        see *every* drop with its clock time, even on call paths that
+        bypass the system-level instrumentation.  ``name`` labels which
+        queue dropped (``"alert"`` / ``"recovery"``); ``bus=None``
+        removes the instrumentation.
+        """
+        self._name = name
+        self._bus = bus
+        self._clock = clock
+
     def reset_stats(self) -> None:
         """Zero the loss/accepted counters and re-base the high-water
         mark at the current occupancy (queued items are untouched)."""
@@ -116,6 +136,11 @@ class BoundedQueue(Generic[T]):
         """Enqueue ``item`` if capacity allows; count a loss otherwise."""
         if len(self._items) >= self._capacity:
             self._lost += 1
+            if self._bus is not None and self._clock is not None:
+                self._bus.publish(QueueItemDropped(
+                    self._clock(), queue=self._name,
+                    depth=len(self._items), lost_total=self._lost,
+                ))
             if self._hook is not None:
                 self._hook("lost", self)
             return False

@@ -26,6 +26,16 @@ This package provides the measurement layer:
 - :mod:`repro.obs.export` — JSON-lines event dumps, Prometheus-style
   text rendering, Chrome-trace/Perfetto JSON, and summary tables via
   :mod:`repro.report.tables`;
+- :mod:`repro.obs.windows` — sim-time sliding-window estimators (rate
+  windows, occupancy dwell windows, EWMA, quantiles) and sequential
+  drift detectors (two-sided CUSUM, Page–Hinkley, G-test);
+- :mod:`repro.obs.health` — the live SLO health monitor: compares
+  windowed estimates against the calibrated CTMC's steady-state
+  predictions, drives OK/WARN/BREACH SLOs, emits typed
+  drift/SLO-transition events, and merges per-replication
+  conformance reports deterministically;
+- :mod:`repro.obs.server` — a stdlib-only HTTP telemetry endpoint
+  (``/metrics`` Prometheus text, ``/healthz``, ``/slo`` JSON);
 - :mod:`repro.obs.runner` — instrumented end-to-end scenario drivers
   behind the ``repro-workflow obs`` CLI subcommand.
 
@@ -38,6 +48,7 @@ from repro.obs.events import (
     ActionDispatched,
     AlertEnqueued,
     AlertLost,
+    DriftDetected,
     EventBus,
     EventRecorder,
     HealFinished,
@@ -45,14 +56,28 @@ from repro.obs.events import (
     NormalTaskRefused,
     ObsEvent,
     OrderConstraint,
+    QueueItemDropped,
     RedoDecision,
     ScanStep,
+    SloTransition,
     StateTransition,
     TaskRedone,
     TaskUndone,
     UndoDecision,
     UnitEmitted,
     event_from_dict,
+)
+from repro.obs.health import (
+    ConformanceReport,
+    HealthConfig,
+    HealthMonitor,
+    ModelPrediction,
+    Slo,
+    SloSpec,
+    SloState,
+    merge_conformance,
+    replay_verdicts,
+    wilson_interval,
 )
 from repro.obs.export import (
     events_to_jsonl,
@@ -75,7 +100,17 @@ from repro.obs.recorder import (
     load_flight_log,
     read_flight_log,
 )
+from repro.obs.server import TelemetryServer
 from repro.obs.tracing import ManualClock, Span, Tracer, render_span_tree
+from repro.obs.windows import (
+    Cusum,
+    Ewma,
+    OccupancyWindow,
+    PageHinkley,
+    RateWindow,
+    SlidingWindow,
+    g_test,
+)
 
 __all__ = [
     # events
@@ -94,6 +129,9 @@ __all__ = [
     "RedoDecision",
     "OrderConstraint",
     "ActionDispatched",
+    "QueueItemDropped",
+    "SloTransition",
+    "DriftDetected",
     "EventBus",
     "EventRecorder",
     "event_from_dict",
@@ -124,4 +162,25 @@ __all__ = [
     "render_prometheus",
     "metrics_table",
     "spans_to_chrome_trace",
+    # windows
+    "SlidingWindow",
+    "RateWindow",
+    "OccupancyWindow",
+    "Ewma",
+    "Cusum",
+    "PageHinkley",
+    "g_test",
+    # health
+    "SloState",
+    "SloSpec",
+    "Slo",
+    "ModelPrediction",
+    "HealthConfig",
+    "HealthMonitor",
+    "ConformanceReport",
+    "merge_conformance",
+    "replay_verdicts",
+    "wilson_interval",
+    # server
+    "TelemetryServer",
 ]

@@ -31,6 +31,9 @@ __all__ = [
     "RedoDecision",
     "OrderConstraint",
     "ActionDispatched",
+    "QueueItemDropped",
+    "SloTransition",
+    "DriftDetected",
     "EVENT_TYPES",
     "event_from_dict",
     "EventBus",
@@ -241,6 +244,60 @@ class ActionDispatched(ObsEvent):
     satisfied: Tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class QueueItemDropped(ObsEvent):
+    """A bounded queue rejected an item because it was full.
+
+    Unlike :class:`AlertLost` (which the *system* publishes with alert
+    identity), this event is emitted by the queue itself on every
+    rejection, stamped with the queue's clock, so windowed loss
+    estimators and the flight recorder see each drop even on paths
+    that bypass the system-level instrumentation.  ``queue`` names
+    which queue dropped (``"alert"`` / ``"recovery"``), ``depth`` its
+    occupancy at rejection time, ``lost_total`` the queue's lifetime
+    loss counter after this drop.
+    """
+
+    queue: str
+    depth: int
+    lost_total: int
+
+
+@dataclass(frozen=True)
+class SloTransition(ObsEvent):
+    """A service-level objective changed state (OK / WARN / BREACH).
+
+    Published by :class:`repro.obs.health.HealthMonitor` whenever one
+    of its SLOs moves between states; ``value`` is the windowed
+    measurement that drove the transition and ``objective`` the SLO's
+    target.  The sequence of these events *is* the run's verdict
+    history — replaying a flight log reproduces it bit for bit.
+    """
+
+    slo: str
+    old: str
+    new: str
+    value: float
+    objective: float
+
+
+@dataclass(frozen=True)
+class DriftDetected(ObsEvent):
+    """A drift detector flagged model non-conformance.
+
+    ``detector`` names the test (``"cusum-arrival"``, ``"page-hinkley"``,
+    ``"gtest-occupancy"``); ``statistic`` the test statistic at alarm
+    time and ``threshold`` the alarm level it crossed; ``signal``
+    qualifies the direction (``"rate-increase"``, ``"rate-decrease"``,
+    ``"occupancy-shift"``).
+    """
+
+    detector: str
+    statistic: float
+    threshold: float
+    signal: str = ""
+
+
 #: Registry of every concrete event type by its ``kind`` name, used by
 #: the flight-recorder loader to rebuild typed events from JSONL.
 EVENT_TYPES: Dict[str, Type[ObsEvent]] = {
@@ -249,7 +306,7 @@ EVENT_TYPES: Dict[str, Type[ObsEvent]] = {
         AlertEnqueued, AlertLost, ScanStep, UnitEmitted, StateTransition,
         HealStarted, HealFinished, TaskUndone, TaskRedone,
         NormalTaskRefused, UndoDecision, RedoDecision, OrderConstraint,
-        ActionDispatched,
+        ActionDispatched, QueueItemDropped, SloTransition, DriftDetected,
     )
 }
 

@@ -27,6 +27,7 @@ from repro.obs.events import (
     HealStarted,
     NormalTaskRefused,
     ObsEvent,
+    QueueItemDropped,
     ScanStep,
     StateTransition,
     TaskRedone,
@@ -403,6 +404,12 @@ class PipelineMetrics:
             self.tasks_redone.inc()
         elif isinstance(event, NormalTaskRefused):
             self.normal_refused.inc()
+        elif isinstance(event, QueueItemDropped):
+            self.registry.counter(
+                "repro_queue_dropped_total",
+                labels={"queue": event.queue},
+                help="items rejected by a full bounded queue",
+            ).inc()
         if not self._started:
             # First event anchors the clock for dwell accounting.
             self.start(event.time)

@@ -30,12 +30,14 @@ from repro.obs.events import (
     ActionDispatched,
     AlertEnqueued,
     AlertLost,
+    DriftDetected,
     HealFinished,
     HealStarted,
     ObsEvent,
     OrderConstraint,
     RedoDecision,
     ScanStep,
+    SloTransition,
     StateTransition,
     TaskRedone,
     TaskUndone,
@@ -76,6 +78,13 @@ class ReplayedRun:
     executed_undone / executed_redone:
         ``uid → reason`` / ``uid → mode`` for what the healer actually
         did (a candidate may be resolved either way).
+    slo_transitions / drifts:
+        The health monitor's verdict stream, in log order — every
+        recorded :class:`~repro.obs.events.SloTransition` and
+        :class:`~repro.obs.events.DriftDetected`.  Empty for logs of
+        unmonitored runs.  :func:`repro.obs.health.replay_verdicts`
+        recomputes the same stream from the log's *raw* events, which
+        is how replay proves the recorded verdicts were earned.
     metrics:
         A fresh :class:`~repro.obs.metrics.PipelineMetrics` rebuilt by
         re-feeding the event stream between the log's ``start`` and
@@ -96,6 +105,8 @@ class ReplayedRun:
     schedule: Tuple[str, ...] = ()
     executed_undone: Dict[str, str] = field(default_factory=dict)
     executed_redone: Dict[str, str] = field(default_factory=dict)
+    slo_transitions: List[SloTransition] = field(default_factory=list)
+    drifts: List[DriftDetected] = field(default_factory=list)
     metrics: PipelineMetrics = field(default_factory=PipelineMetrics)
 
 
@@ -128,6 +139,10 @@ def replay(log: FlightLog) -> ReplayedRun:
             run.executed_undone[event.uid] = event.reason
         elif isinstance(event, TaskRedone):
             run.executed_redone[event.uid] = event.mode
+        elif isinstance(event, SloTransition):
+            run.slo_transitions.append(event)
+        elif isinstance(event, DriftDetected):
+            run.drifts.append(event)
     finalize = log.mark("finalize")
     if finalize is not None:
         run.metrics.finalize(float(finalize["time"]))

@@ -52,12 +52,16 @@ class ObsRun:
         have no natural incident nesting).
     result:
         Scenario-specific payload (heal report, simulator result, ...).
+    monitor:
+        The :class:`~repro.obs.health.HealthMonitor` that rode the run,
+        when health monitoring was requested; ``None`` otherwise.
     """
 
     metrics: PipelineMetrics
     events: List[ObsEvent] = field(default_factory=list)
     spans: List[Span] = field(default_factory=list)
     result: object = None
+    monitor: object = None
 
 
 class SimTimeDriver:
@@ -290,6 +294,8 @@ def run_fullstack_observed(
     horizon: float = 60.0,
     seed: int = 0,
     flight: Optional[FlightRecorder] = None,
+    health=None,
+    health_config=None,
 ) -> ObsRun:
     """A full-stack timed run (real attacks, analyzer, healer) with the
     observability harness attached.
@@ -298,7 +304,15 @@ def run_fullstack_observed(
     captures the run for deterministic replay; all timestamps are
     simulated time, so the log depends only on ``(config, horizon,
     seed)``.
+
+    Passing a :class:`~repro.obs.health.ModelPrediction` as ``health``
+    additionally rides a :class:`~repro.obs.health.HealthMonitor` on
+    the bus.  The flight recorder is attached *before* the monitor, so
+    the captured log orders each triggering event ahead of the verdict
+    it caused — :func:`repro.obs.health.replay_verdicts` then re-derives
+    the identical SLO/drift stream from the raw events.
     """
+    from repro.obs.health import HealthMonitor
     from repro.sim.fullstack import FullStackConfig, FullStackSimulator
 
     cfg = config if config is not None else FullStackConfig()
@@ -308,10 +322,15 @@ def run_fullstack_observed(
     if flight is not None:
         flight.attach(bus)
         flight.mark("start", 0.0, state="NORMAL")
+    monitor = None
+    if health is not None:
+        monitor = HealthMonitor(health, config=health_config).attach(bus)
     sim = FullStackSimulator(cfg, random.Random(seed), bus=bus)
     metrics.start(0.0, state="NORMAL")
     result = sim.run(horizon=horizon)
     metrics.finalize(horizon)
+    if monitor is not None:
+        result.conformance = monitor.report()
     if flight is not None:
         flight.mark("finalize", horizon)
     return ObsRun(
@@ -319,4 +338,5 @@ def run_fullstack_observed(
         events=list(recorder.events),
         spans=[],
         result=result,
+        monitor=monitor,
     )

@@ -1,0 +1,216 @@
+"""HTTP telemetry endpoint over the stdlib ``http.server``.
+
+A production self-healing system is judged from the outside — scrapers
+pull metrics, load balancers probe health, operators curl the SLO
+verdicts.  :class:`TelemetryServer` exposes exactly those three views
+of a run, with zero dependencies beyond the standard library:
+
+- ``GET /metrics``  — Prometheus text exposition of a
+  :class:`~repro.obs.metrics.MetricsRegistry` (the existing exporter,
+  now scrapeable);
+- ``GET /healthz``  — a liveness/readiness probe: JSON status, HTTP
+  ``200`` while the :class:`~repro.obs.health.HealthMonitor`'s worst
+  SLO is OK or WARN, ``503`` on BREACH (so a probe-driven orchestrator
+  reacts to a breached objective with no JSON parsing at all);
+- ``GET /slo``      — the full JSON health summary (verdicts, windowed
+  estimates, drift alarms, model predictions).
+
+The server binds ``127.0.0.1`` by default and accepts port ``0`` for
+an ephemeral port (the bound port is on :attr:`port` after
+:meth:`start` — how the CI smoke test avoids collisions).  Handlers
+take :attr:`lock` around every render; a driver mutating the registry
+or monitor from another thread wraps its update phase in
+``with server.lock:`` and readers always see a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ObsError
+from repro.obs.health import HealthMonitor, SloState
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["TelemetryServer"]
+
+#: Content type mandated by the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Request handler: three read-only GET routes, JSON errors."""
+
+    server: "_TelemetryHTTPServer"
+
+    # Silence the default stderr access log — the CLI owns stdout and
+    # a scrape every few seconds would drown it.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, "application/json; charset=utf-8")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0]
+        with owner.lock:
+            if path == "/metrics":
+                status, body = owner.render_metrics()
+                self._send(status, body.encode("utf-8"),
+                           PROMETHEUS_CONTENT_TYPE)
+            elif path == "/healthz":
+                status, payload = owner.render_healthz()
+                self._send_json(status, payload)
+            elif path == "/slo":
+                status, payload = owner.render_slo()
+                self._send_json(status, payload)
+            else:
+                self._send_json(404, {
+                    "error": f"unknown path {path!r}",
+                    "paths": ["/metrics", "/healthz", "/slo"],
+                })
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that knows its owning TelemetryServer."""
+
+    daemon_threads = True
+    owner: "TelemetryServer"
+
+
+class TelemetryServer:
+    """Serves ``/metrics``, ``/healthz`` and ``/slo`` for a run.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricsRegistry` behind ``/metrics`` (``None``
+        serves an empty exposition).
+    monitor:
+        The :class:`HealthMonitor` behind ``/healthz`` and ``/slo``
+        (``None`` makes ``/healthz`` report ``ok`` — nothing monitored
+        is nothing breached — and ``/slo`` return 404).
+    host, port:
+        Bind address; port ``0`` asks the OS for an ephemeral port.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        monitor: Optional[HealthMonitor] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.monitor = monitor
+        self._host = host
+        self._requested_port = int(port)
+        self._httpd: Optional[_TelemetryHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        #: Guards every render; writers mutating registry/monitor from
+        #: another thread take it around their update phase.
+        self.lock = threading.RLock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Is the server accepting requests?"""
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Bind and serve on a daemon thread; returns self.
+
+        Raises :class:`~repro.errors.ObsError` when already running or
+        when the bind fails (port taken, bad host) — a telemetry
+        endpoint that silently is not there defeats its purpose.
+        """
+        if self._httpd is not None:
+            raise ObsError(f"telemetry server already running on {self.url}")
+        try:
+            httpd = _TelemetryHTTPServer(
+                (self._host, self._requested_port), _TelemetryHandler
+            )
+        except OSError as exc:
+            raise ObsError(
+                f"cannot bind telemetry server to "
+                f"{self._host}:{self._requested_port}: {exc}"
+            ) from exc
+        httpd.owner = self
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down and join the serving thread (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- renders (called by the handler under the lock) --------------------
+
+    def render_metrics(self) -> Tuple[int, str]:
+        """Status + Prometheus text for ``/metrics``."""
+        from repro.obs.export import render_prometheus
+
+        if self.registry is None:
+            return (200, "")
+        return (200, render_prometheus(self.registry))
+
+    def render_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        """Status + JSON for ``/healthz``: 503 exactly on BREACH."""
+        if self.monitor is None:
+            return (200, {"status": "ok", "monitored": False})
+        verdict = self.monitor.verdict
+        status = 503 if verdict is SloState.BREACH else 200
+        return (status, {
+            "status": verdict.value.lower(),
+            "monitored": True,
+            "time": self.monitor.now,
+            "drifts": len(self.monitor.drifts),
+        })
+
+    def render_slo(self) -> Tuple[int, Dict[str, Any]]:
+        """Status + JSON for ``/slo``: the full health summary."""
+        if self.monitor is None:
+            return (404, {"error": "no health monitor attached"})
+        return (200, self.monitor.summary())

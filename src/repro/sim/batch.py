@@ -35,6 +35,12 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.markov.stg import RecoverySTG, State, StateCategory
+from repro.obs.health import (
+    ConformanceReport,
+    HealthConfig,
+    ModelPrediction,
+    merge_conformance,
+)
 from repro.sim import ctmc_sim, fullstack
 from repro.sim.ctmc_sim import GillespieResult
 from repro.sim.fullstack import FullStackConfig, FullStackResult
@@ -83,9 +89,13 @@ def _timed_gillespie(
     horizon: float,
     seed: int,
     start: Optional[State],
+    health: Optional[ModelPrediction] = None,
+    health_config: Optional[HealthConfig] = None,
 ) -> Tuple[GillespieResult, float]:
     t0 = time.perf_counter()
-    result = ctmc_sim.run_replication(stg, horizon, seed, start=start)
+    result = ctmc_sim.run_replication(stg, horizon, seed, start=start,
+                                      health=health,
+                                      health_config=health_config)
     return result, time.perf_counter() - t0
 
 
@@ -94,10 +104,14 @@ def _timed_fullstack(
     horizon: float,
     seed: int,
     record_path: Optional[str] = None,
+    health: Optional[ModelPrediction] = None,
+    health_config: Optional[HealthConfig] = None,
 ) -> Tuple[FullStackResult, float]:
     t0 = time.perf_counter()
     result = fullstack.run_replication(config, horizon, seed,
-                                       record_path=record_path)
+                                       record_path=record_path,
+                                       health=health,
+                                       health_config=health_config)
     return result, time.perf_counter() - t0
 
 
@@ -217,6 +231,21 @@ class GillespieBatchResult:
             return 0.0
         return self.arrivals_lost / self.arrivals
 
+    @property
+    def conformance(self) -> Optional[ConformanceReport]:
+        """Merged per-replication conformance verdict (``None`` when
+        the batch ran without health monitoring).
+
+        The merge is order-independent (sums and max-severity only),
+        so the verdict is identical at any worker count — the same
+        invariance the raw results already guarantee.
+        """
+        reports = [r.conformance for r in self.results
+                   if r.conformance is not None]
+        if not reports:
+            return None
+        return merge_conformance(reports)
+
 
 @dataclass
 class FullStackBatchResult:
@@ -277,6 +306,17 @@ class FullStackBatchResult:
         correct."""
         return all(r.all_heals_audited_ok for r in self.results)
 
+    @property
+    def conformance(self) -> Optional[ConformanceReport]:
+        """Merged per-replication conformance verdict (``None`` when
+        the batch ran without health monitoring); order-independent,
+        hence worker-count invariant."""
+        reports = [r.conformance for r in self.results
+                   if r.conformance is not None]
+        if not reports:
+            return None
+        return merge_conformance(reports)
+
 
 def run_gillespie_batch(
     stg: RecoverySTG,
@@ -285,6 +325,8 @@ def run_gillespie_batch(
     workers: int = 1,
     seed: int = 0,
     start: Optional[State] = None,
+    health: Optional[ModelPrediction] = None,
+    health_config: Optional[HealthConfig] = None,
 ) -> GillespieBatchResult:
     """Run ``replications`` independent Gillespie trajectories.
 
@@ -304,6 +346,12 @@ def run_gillespie_batch(
         (:func:`spawn_seeds`).
     start:
         Optional common start state (default NORMAL).
+    health, health_config:
+        With a :class:`~repro.obs.health.ModelPrediction`, every
+        replication runs under a health monitor and the batch result's
+        :attr:`~GillespieBatchResult.conformance` merges the
+        per-replication verdicts (both are plain picklable data, so
+        they fan out to workers like the STG does).
 
     Raises
     ------
@@ -315,7 +363,8 @@ def run_gillespie_batch(
     t0 = time.perf_counter()
     outcomes = _fan_out(
         _timed_gillespie,
-        [(stg, horizon, s, start) for s in seeds],
+        [(stg, horizon, s, start, health, health_config)
+         for s in seeds],
         workers,
     )
     elapsed = time.perf_counter() - t0
@@ -336,14 +385,19 @@ def run_fullstack_batch(
     workers: int = 1,
     seed: int = 0,
     record_dir: Optional[str] = None,
+    health: Optional[ModelPrediction] = None,
+    health_config: Optional[HealthConfig] = None,
 ) -> FullStackBatchResult:
     """Run ``replications`` independent full-stack simulations; same
-    contract as :func:`run_gillespie_batch`.
+    contract as :func:`run_gillespie_batch` (including the optional
+    ``health`` monitoring and merged conformance verdict).
 
     With ``record_dir``, every replication writes a flight-recorder log
     to ``<record_dir>/rep-NNNN.jsonl`` (seed and config in the header).
     Flight logs carry only simulated time, so the files — like the
-    results — are bit-identical across worker counts.
+    results — are bit-identical across worker counts; with ``health``
+    the logs additionally contain each replication's SloTransition /
+    DriftDetected verdict events.
     """
     _validate(replications, workers, horizon)
     seeds = spawn_seeds(seed, replications)
@@ -357,7 +411,8 @@ def run_fullstack_batch(
     t0 = time.perf_counter()
     outcomes = _fan_out(
         _timed_fullstack,
-        [(config, horizon, s, p) for s, p in zip(seeds, record_paths)],
+        [(config, horizon, s, p, health, health_config)
+         for s, p in zip(seeds, record_paths)],
         workers,
     )
     elapsed = time.perf_counter() - t0

@@ -26,6 +26,12 @@ from repro.obs.events import (
     StateTransition,
     UnitEmitted,
 )
+from repro.obs.health import (
+    ConformanceReport,
+    HealthConfig,
+    HealthMonitor,
+    ModelPrediction,
+)
 
 __all__ = ["GillespieResult", "GillespieSimulator", "run_replication"]
 
@@ -36,6 +42,8 @@ def run_replication(
     seed: int,
     start: Optional[State] = None,
     bus: Optional[EventBus] = None,
+    health: Optional[ModelPrediction] = None,
+    health_config: Optional[HealthConfig] = None,
 ) -> "GillespieResult":
     """One seeded Gillespie replication.
 
@@ -43,10 +51,24 @@ def run_replication(
     :mod:`repro.sim.batch` to fan replications out over a process pool;
     running it with the same ``(stg, horizon, seed, start)`` always
     reproduces the same trajectory, worker placement notwithstanding.
+
+    With ``health`` (a picklable :class:`ModelPrediction`), a
+    :class:`HealthMonitor` rides the replication's event stream and the
+    result carries its :class:`ConformanceReport` — a deterministic
+    function of ``(stg, horizon, seed, start, health, health_config)``,
+    so batch merging stays bit-identical at any worker count.
     """
-    return GillespieSimulator(stg, random.Random(seed), bus=bus).run(
+    monitor: Optional[HealthMonitor] = None
+    if health is not None:
+        if bus is None:
+            bus = EventBus()
+        monitor = HealthMonitor(health, config=health_config).attach(bus)
+    result = GillespieSimulator(stg, random.Random(seed), bus=bus).run(
         horizon, start=start
     )
+    if monitor is not None:
+        result.conformance = monitor.report()
+    return result
 
 
 @dataclass
@@ -69,6 +91,9 @@ class GillespieResult:
         Alert arrivals generated / rejected by a full alert buffer.
     jumps:
         Number of state transitions taken.
+    conformance:
+        Per-replication SLO/drift verdict when the run was health-
+        monitored (see :func:`run_replication`); ``None`` otherwise.
     """
 
     horizon: float
@@ -78,6 +103,7 @@ class GillespieResult:
     arrivals: int = 0
     arrivals_lost: int = 0
     jumps: int = 0
+    conformance: Optional[ConformanceReport] = None
 
     @property
     def empirical_loss_probability(self) -> float:

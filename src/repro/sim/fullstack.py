@@ -47,6 +47,12 @@ from repro.obs.events import (
     StateTransition,
     UnitEmitted,
 )
+from repro.obs.health import (
+    ConformanceReport,
+    HealthConfig,
+    HealthMonitor,
+    ModelPrediction,
+)
 from repro.sim.simulator import Simulator
 from repro.workflow.data import DataStore
 from repro.workflow.spec import WorkflowSpec, workflow
@@ -65,6 +71,8 @@ def run_replication(
     seed: int,
     bus: Optional[EventBus] = None,
     record_path: Optional[str] = None,
+    health: Optional[ModelPrediction] = None,
+    health_config: Optional[HealthConfig] = None,
 ) -> "FullStackResult":
     """One seeded full-stack replication.
 
@@ -75,21 +83,32 @@ def run_replication(
     event stream to that file; every timestamp is simulated time, so
     the file is a pure function of ``(config, horizon, seed)`` —
     byte-identical no matter which process or worker pool produced it.
+
+    With ``health``, a :class:`~repro.obs.health.HealthMonitor` rides
+    the run and the result carries its conformance verdict.  The
+    monitor attaches *after* the recorder, so a recorded log orders
+    each SloTransition/DriftDetected right after the event that caused
+    it — which is what lets ``obs replay`` reproduce the verdict
+    sequence bit for bit.
     """
     from dataclasses import asdict
 
     from repro.obs.recorder import FlightRecorder
 
     recorder: Optional[FlightRecorder] = None
-    if record_path is not None:
+    monitor: Optional[HealthMonitor] = None
+    if record_path is not None or health is not None:
         if bus is None:
             bus = EventBus()
+    if record_path is not None:
         recorder = FlightRecorder(
             label="fullstack", path=record_path,
             meta={"seed": seed, "horizon": horizon,
                   "config": asdict(config) if config is not None else {}},
         ).attach(bus)
         recorder.mark("start", 0.0, state="NORMAL")
+    if health is not None:
+        monitor = HealthMonitor(health, config=health_config).attach(bus)
     try:
         result = FullStackSimulator(config, random.Random(seed),
                                     bus=bus).run(horizon)
@@ -98,6 +117,8 @@ def run_replication(
     finally:
         if recorder is not None:
             recorder.close()
+    if monitor is not None:
+        result.conformance = monitor.report()
     return result
 
 
@@ -134,6 +155,26 @@ class FullStackConfig:
         if self.alert_buffer < 1 or self.recovery_buffer < 1:
             raise ValueError("buffers must be >= 1")
 
+    def stg(self):
+        """The CTMC abstraction of this configuration.
+
+        Maps the deterministic service *times* onto the model's rate
+        schedules (``μ_k = 1/(k·scan_time)``, ``ξ_k`` likewise — the
+        paper's linear degradation), giving the
+        :class:`~repro.markov.stg.RecoverySTG` whose steady state is
+        the health monitor's null model for this simulator.
+        """
+        from repro.markov.degradation import inverse_k
+        from repro.markov.stg import RecoverySTG
+
+        return RecoverySTG(
+            arrival_rate=self.arrival_rate,
+            scan=inverse_k(1.0 / self.scan_time),
+            recovery=inverse_k(1.0 / self.unit_recovery_time),
+            recovery_buffer=self.recovery_buffer,
+            alert_buffer=self.alert_buffer,
+        )
+
 
 @dataclass
 class FullStackResult:
@@ -152,6 +193,9 @@ class FullStackResult:
         final sweep) left the system strictly correct.
     repaired_instances:
         Total task instances undone across all heals.
+    conformance:
+        Per-replication SLO/drift verdict when the run was health-
+        monitored (see :func:`run_replication`); ``None`` otherwise.
     """
 
     horizon: float
@@ -161,6 +205,7 @@ class FullStackResult:
     heals: int
     all_heals_audited_ok: bool
     repaired_instances: int
+    conformance: Optional[ConformanceReport] = None
 
     @property
     def loss_fraction(self) -> float:

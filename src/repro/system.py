@@ -113,6 +113,11 @@ class SelfHealingSystem:
         self._strategy = strategy
         self._bus = bus
         self._clock = clock if clock is not None else _time.monotonic
+        # The queues publish their own typed drop events, so rejections
+        # are observable with their clock time even on call paths that
+        # never reach the system-level AlertLost instrumentation.
+        self._alerts.instrument("alert", bus, self._clock)
+        self._plans.instrument("recovery", bus, self._clock)
         self._analyzer = RecoveryAnalyzer(log, self._specs, bus=bus,
                                           clock=self._clock)
         self._heals: List[HealReport] = []

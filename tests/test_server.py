@@ -1,0 +1,148 @@
+"""Tests for the HTTP telemetry endpoint (`repro.obs.server`).
+
+Each test binds an ephemeral port on 127.0.0.1 and talks to the
+server over real HTTP with the stdlib client — the same way the CI
+smoke job and a Prometheus scraper would.
+"""
+
+import json
+import random
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObsError
+from repro.markov.stg import RecoverySTG
+from repro.obs.events import EventBus
+from repro.obs.health import HealthConfig, HealthMonitor, ModelPrediction
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import TelemetryServer
+from repro.sim.ctmc_sim import GillespieSimulator
+
+
+def _get(url):
+    """(status, content_type, body_bytes) for a GET, including errors."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers.get("Content-Type"), err.read()
+
+
+@pytest.fixture()
+def monitored_server():
+    """A server over a short conformant paper-workload run."""
+    stg = RecoverySTG.paper_default()
+    registry = MetricsRegistry()
+    monitor = HealthMonitor(
+        ModelPrediction.from_stg(stg), registry=registry
+    ).attach(EventBus())
+    GillespieSimulator(stg, random.Random(0), bus=monitor.bus).run(150.0)
+    with TelemetryServer(registry=registry, monitor=monitor) as server:
+        yield server, monitor
+
+
+class TestLifecycle:
+    def test_ephemeral_port_is_bound(self):
+        server = TelemetryServer().start()
+        try:
+            assert server.running and server.port > 0
+            assert server.url.startswith("http://127.0.0.1:")
+        finally:
+            server.stop()
+        assert not server.running
+
+    def test_double_start_rejected(self):
+        with TelemetryServer() as server:
+            with pytest.raises(ObsError):
+                server.start()
+
+    def test_stop_is_idempotent(self):
+        server = TelemetryServer().start()
+        server.stop()
+        server.stop()
+
+    def test_unbindable_port_raises(self):
+        with TelemetryServer() as server:
+            with pytest.raises(ObsError):
+                TelemetryServer(port=server.port).start()
+
+
+class TestBareServer:
+    """No registry, no monitor: degrade, never 500."""
+
+    def test_healthz_reports_unmonitored_ok(self):
+        with TelemetryServer() as server:
+            status, ctype, body = _get(server.url + "/healthz")
+        assert status == 200 and "json" in ctype
+        assert json.loads(body) == {"status": "ok", "monitored": False}
+
+    def test_slo_is_404_without_monitor(self):
+        with TelemetryServer() as server:
+            status, _, body = _get(server.url + "/slo")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_metrics_empty_exposition(self):
+        with TelemetryServer() as server:
+            status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert body == b""
+
+    def test_unknown_path_lists_routes(self):
+        with TelemetryServer() as server:
+            status, _, body = _get(server.url + "/nope")
+        assert status == 404
+        assert json.loads(body)["paths"] == ["/metrics", "/healthz", "/slo"]
+
+
+class TestMonitoredEndpoints:
+    def test_healthz_ok_on_conformant_run(self, monitored_server):
+        server, _ = monitored_server
+        status, _, body = _get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["monitored"] is True
+        assert payload["drifts"] == 0
+        assert payload["time"] > 0
+
+    def test_slo_payload_schema(self, monitored_server):
+        server, monitor = monitored_server
+        status, _, body = _get(server.url + "/slo")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["verdict"] == "OK"
+        assert set(payload["slos"]) == {"loss", "model-conformance"}
+        low, high = payload["loss"]["ci"]
+        assert 0.0 <= low <= high <= 1.0
+        assert payload["prediction"]["loss_probability"] == (
+            monitor.prediction.loss_probability
+        )
+
+    def test_metrics_exposes_health_gauges(self, monitored_server):
+        server, _ = monitored_server
+        status, ctype, body = _get(server.url + "/metrics")
+        text = body.decode("utf-8")
+        assert status == 200
+        assert "version=0.0.4" in ctype
+        assert "repro_health_arrival_rate" in text
+        assert 'repro_health_slo_state{slo="loss"}' in text
+
+    def test_healthz_503_on_breach(self):
+        # An impossible loss objective over a lossy calibrated run:
+        # the loss SLO breaches, and the probe must go unhealthy.
+        stg = RecoverySTG.paper_default(arrival_rate=6.0, buffer_size=3)
+        monitor = HealthMonitor(
+            ModelPrediction.from_stg(stg),
+            config=HealthConfig(loss_objective=1e-6),
+        ).attach(EventBus())
+        GillespieSimulator(stg, random.Random(1),
+                           bus=monitor.bus).run(150.0)
+        assert monitor.verdict.value == "BREACH"
+        with TelemetryServer(monitor=monitor) as server:
+            status, _, body = _get(server.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "breach"
