@@ -14,6 +14,9 @@ Exposes the library's main flows without writing code::
     repro-workflow obs replay --log run.jsonl       # deterministic replay
     repro-workflow obs explain 'wf1/t6#1'           # causal chain
     repro-workflow obs trace --out trace.json       # Chrome/Perfetto trace
+    repro-workflow lint spec --all-scenarios        # static spec checks
+    repro-workflow lint plan run.jsonl              # verify recovery provenance
+    repro-workflow lint code src/repro              # determinism lint
     repro-workflow stg-dot --buffer 3    # Figure 3 as Graphviz DOT
 
 Every command prints plain text tables (see ``--help`` per command).
@@ -34,6 +37,7 @@ from repro.errors import (
     RecoveryError,
     SchedulingError,
     SimulationError,
+    WorkflowSpecError,
 )
 from repro.markov.degradation import power_law
 from repro.markov.design import design_system, peak_resilience
@@ -793,6 +797,95 @@ def cmd_obs(args) -> int:
     return 0
 
 
+_LINT_SCENARIOS = ("figure1", "banking", "travel", "supply-chain")
+
+
+def _scenario_specs(name: str) -> List:
+    """The (deduplicated) workflow specs a built-in scenario executes."""
+    if name == "figure1":
+        from repro.scenarios.figure1 import build_figure1
+        built = build_figure1(attacked=False)
+    elif name == "banking":
+        from repro.scenarios.banking import build_banking
+        built = build_banking()
+    elif name == "travel":
+        from repro.scenarios.travel import build_travel
+        built = build_travel()
+    else:
+        from repro.scenarios.supply_chain import build_supply_chain
+        built = build_supply_chain()
+    by_id = {
+        spec.workflow_id: spec
+        for spec in built.specs_by_instance.values()
+    }
+    return [by_id[wf] for wf in sorted(by_id)]
+
+
+def _emit_report(args, report) -> int:
+    """Render a lint report per ``--format``/``--out``; exit 2 on ERROR."""
+    if args.format == "json":
+        text = report.to_json()
+    elif args.format == "sarif":
+        text = report.to_sarif_json()
+    else:
+        text = report.render_text()
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"{len(report)} finding(s) written to {args.out} "
+              f"({args.format})")
+    else:
+        print(text)
+    return report.exit_code
+
+
+def cmd_lint(args) -> int:
+    """Static verification: 'spec' lints workflow graphs and read/write
+    sets (JSON documents or built-in scenarios), 'plan' re-derives the
+    paper's Theorems 1-3 over a flight log's recovery provenance with
+    independent code, 'code' scans Python sources for replay-poisonous
+    nondeterminism.  Exit code 2 when any ERROR-level finding exists."""
+    from repro.lint import LintReport
+
+    if args.pass_ == "spec":
+        from repro.lint import lint_documents, lint_specs
+        from repro.workflow.serialize import WorkflowDocument
+
+        diags = []
+        scenarios: List[str] = list(args.scenario or ())
+        if args.all_scenarios:
+            scenarios = list(_LINT_SCENARIOS)
+        if not scenarios and not args.files:
+            scenarios = list(_LINT_SCENARIOS)
+        for name in scenarios:
+            diags.extend(lint_specs(_scenario_specs(name)))
+        docs = []
+        for path in args.files:
+            if path == "-":
+                docs.append(WorkflowDocument.from_json(sys.stdin.read()))
+            else:
+                with open(path, "r", encoding="utf-8") as fh:
+                    docs.append(WorkflowDocument.from_json(fh.read()))
+        if docs:
+            diags.extend(lint_documents(docs))
+        return _emit_report(args, LintReport(diags))
+
+    if args.pass_ == "plan":
+        from repro.lint import verify_flight_log
+        from repro.obs.recorder import load_flight_log
+
+        diags = []
+        for path in args.files:
+            diags.extend(verify_flight_log(load_flight_log(path)))
+        return _emit_report(args, LintReport(diags))
+
+    # code
+    from repro.lint import lint_paths
+
+    paths = args.files or ["src/repro"]
+    return _emit_report(args, LintReport(lint_paths(paths)))
+
+
 def cmd_sensitivity(args) -> int:
     """Elasticities of loss probability / P(NORMAL) at a design point."""
     from repro.markov.sensitivity import (
@@ -955,6 +1048,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "default 200)")
     p.set_defaults(fn=cmd_obs)
 
+    p = sub.add_parser("lint", help=cmd_lint.__doc__)
+    p.add_argument("pass_", metavar="pass",
+                   choices=["spec", "plan", "code"],
+                   help="spec: workflow documents / scenarios; plan: "
+                        "flight-log recovery provenance; code: Python "
+                        "sources")
+    p.add_argument("files", nargs="*",
+                   help="inputs for the pass — workflow JSON documents "
+                        "('-' for stdin), flight logs, or source "
+                        "files/directories (code default: src/repro; "
+                        "spec default: all built-in scenarios)")
+    p.add_argument("--scenario", action="append",
+                   choices=list(_LINT_SCENARIOS),
+                   help="lint this built-in scenario's workflows "
+                        "(spec pass; repeatable)")
+    p.add_argument("--all-scenarios", action="store_true",
+                   help="lint every built-in scenario (spec pass)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
+                   help="output rendering (default text)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout "
+                        "('-' for stdout)")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("sensitivity", help=cmd_sensitivity.__doc__)
     _add_model_args(p)
     p.set_defaults(fn=cmd_sensitivity)
@@ -983,7 +1101,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.fn(args)
     except (ObsError, RecoveryError, SchedulingError,
-            SimulationError) as exc:
+            SimulationError, WorkflowSpecError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_DOMAIN_ERROR
 

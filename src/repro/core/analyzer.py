@@ -76,7 +76,7 @@ class RecoveryAnalyzer:
         self._specs = dict(specs_by_instance)
         self._dep: Optional[DependencyAnalyzer] = None
         self._bus = bus
-        self._clock = clock if clock is not None else _time.monotonic
+        self._clock = clock if clock is not None else _time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
 
     def _dependency_analyzer(self) -> DependencyAnalyzer:
         if self._dep is None or len(self._dep.log) != len(self._log):

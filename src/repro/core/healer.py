@@ -283,7 +283,7 @@ class Healer:
         self._specs = dict(specs_by_instance)
         self._baseline = dict(baseline) if baseline is not None else None
         self._bus = bus if bus is not None and bus.active else None
-        self._clock = clock if clock is not None else _time.monotonic
+        self._clock = clock if clock is not None else _time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
 
     def _note_undo(self, uid: str, reason: str = "") -> None:
         if self._bus is not None:

@@ -42,7 +42,17 @@ class WorkflowSpecError(ReproError):
     Raised for graphs without a unique start node, unreachable tasks,
     branch nodes without a decision function, duplicate task identifiers,
     and similar specification-level problems.
+
+    Validation is collect-then-raise: one exception reports *every*
+    defect found, as the :attr:`problems` tuple (the message joins them
+    all).  Lint SPEC001 diagnostics are generated from the same tuple,
+    so constructor errors and ``repro-workflow lint spec`` agree.
     """
+
+    def __init__(self, message: str, problems: "tuple" = ()) -> None:
+        super().__init__(message)
+        #: Individual defect descriptions; never empty.
+        self.problems: tuple = tuple(problems) or (message,)
 
 
 class UnknownTaskError(WorkflowSpecError):

@@ -1,0 +1,265 @@
+"""AST lint for replay-poisonous constructs.
+
+Deterministic replay (:mod:`repro.obs.provenance`) re-executes a run
+from a flight log and expects byte-identical decisions.  Anything that
+reads ambient state — wall clocks, the global ``random`` generator,
+calendar time, hardware entropy, hash-seed-dependent set iteration —
+silently breaks that contract.  This pass walks the stdlib ``ast`` of
+each file and flags such constructs with DET-series diagnostics.
+
+Both *calls* and bare *references* to poisonous functions are flagged:
+``clock=time.monotonic`` as a default argument injects the wall clock
+just as surely as ``time.monotonic()`` does.
+
+Deliberate uses are silenced in place with a pragma on the flagged
+line::
+
+    t0 = time.perf_counter()  # lint: allow[DET001] host-side timing only
+
+The pragma takes a comma-separated rule list (``allow[DET001,DET004]``)
+and anything after the closing bracket is free-form justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+
+from repro.lint.diagnostics import Diagnostic, RULES
+
+__all__ = ["lint_source", "lint_paths"]
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+#: Wall-clock reads (DET001).
+_CLOCKS: FrozenSet[str] = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+})
+
+#: Module-level functions of the shared global generator (DET002).
+_GLOBAL_RANDOM: FrozenSet[str] = frozenset(
+    f"random.{fn}" for fn in (
+        "random", "uniform", "randint", "randrange", "getrandbits",
+        "randbytes", "choice", "choices", "shuffle", "sample", "seed",
+        "gauss", "normalvariate", "lognormvariate", "expovariate",
+        "betavariate", "gammavariate", "triangular", "vonmisesvariate",
+        "paretovariate", "weibullvariate",
+    )
+)
+
+#: Calendar time (DET003).
+_CALENDAR: FrozenSet[str] = frozenset({
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Unseedable entropy (DET005).
+_ENTROPY: FrozenSet[str] = frozenset({
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom",
+})
+
+
+def _classify(dotted: str) -> Optional[str]:
+    """Map a resolved dotted name to the rule it violates, if any."""
+    if dotted in _CLOCKS:
+        return "DET001"
+    if dotted in _GLOBAL_RANDOM:
+        return "DET002"
+    if dotted in _CALENDAR:
+        return "DET003"
+    if dotted in _ENTROPY or dotted.startswith("secrets."):
+        return "DET005"
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.findings: List[Diagnostic] = []
+        # Local alias -> canonical dotted prefix, from import statements.
+        self.aliases: Dict[str, str] = {}
+        self._scope: List[str] = []
+        self._consumed: set = set()
+
+    # -- name resolution ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._resolve(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+    # -- location plumbing -------------------------------------------------
+
+    def _here(self) -> str:
+        if self._scope:
+            return f"{self.filename}::{'.'.join(self._scope)}"
+        return self.filename
+
+    def _emit(self, rule: str, node: ast.AST, message: str,
+              fix: str) -> None:
+        self.findings.append(Diagnostic(
+            rule=rule,
+            severity=RULES[rule].severity,
+            message=message,
+            where=self._here(),
+            file=self.filename,
+            line=getattr(node, "lineno", None),
+            fix=fix,
+        ))
+
+    def _with_scope(self, name: str, node: ast.AST) -> None:
+        self._scope.append(name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._with_scope(node.name, node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._with_scope(node.name, node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._with_scope(node.name, node)
+
+    # -- DET001/2/3/5: calls and references --------------------------------
+
+    _FIXES = {
+        "DET001": "inject a clock parameter (ManualClock in tests)",
+        "DET002": "use an explicit random.Random(seed) instance",
+        "DET003": "pass the timestamp in from the caller",
+        "DET005": "derive ids/bytes from the seeded generator",
+    }
+
+    def _check_callable(self, node: ast.AST, called: bool) -> None:
+        dotted = self._resolve(node)
+        if dotted is None:
+            return
+        rule = _classify(dotted)
+        if rule is None:
+            return
+        verb = "call of" if called else "reference to"
+        self._emit(
+            rule, node,
+            f"{verb} '{dotted}' — {RULES[rule].summary}",
+            self._FIXES[rule],
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._consumed.add(id(node.func))
+        self._check_callable(node.func, called=True)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # A bare reference (not the callee of a Call, not a prefix of a
+        # longer attribute chain) still leaks the nondeterministic
+        # function into whatever it is assigned or passed to.
+        if id(node) not in self._consumed:
+            self._check_callable(node, called=False)
+        self._consumed.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if (id(node) not in self._consumed
+                and isinstance(node.ctx, ast.Load)):
+            self._check_callable(node, called=False)
+        self.generic_visit(node)
+
+    # -- DET004: iteration over unordered sets ------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            # Set algebra (a | b, a - b, ...) yields a set when either
+            # side provably is one.
+            return (self._is_set_expr(node.left)
+                    or self._is_set_expr(node.right))
+        return False
+
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if self._is_set_expr(iter_node):
+            self._emit(
+                "DET004", iter_node,
+                "iteration over an unordered set expression — order "
+                "follows PYTHONHASHSEED, not the data",
+                "wrap the iterable in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+def _allowed_rules(lines: Sequence[str], lineno: Optional[int]) -> FrozenSet[str]:
+    if lineno is None or not 1 <= lineno <= len(lines):
+        return frozenset()
+    match = _PRAGMA.search(lines[lineno - 1])
+    if not match:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def lint_source(source: str, filename: str = "<string>") -> List[Diagnostic]:
+    """Lint one module's source text; honours ``# lint: allow[...]``."""
+    tree = ast.parse(source, filename=filename)
+    visitor = _Visitor(filename)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    return [
+        d for d in visitor.findings
+        if d.rule not in _allowed_rules(lines, d.line)
+    ]
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+) -> List[Diagnostic]:
+    """Lint ``.py`` files; directories are walked recursively."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: List[Diagnostic] = []
+    for path in files:
+        findings.extend(
+            lint_source(path.read_text(encoding="utf-8"), str(path))
+        )
+    return findings

@@ -101,7 +101,7 @@ class Tracer:
     """
 
     def __init__(self, clock: Optional[Clock] = None) -> None:
-        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._clock: Clock = clock if clock is not None else time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
         self._stack: List[Span] = []
         self.roots: List[Span] = []
 

@@ -92,11 +92,11 @@ def _timed_gillespie(
     health: Optional[ModelPrediction] = None,
     health_config: Optional[HealthConfig] = None,
 ) -> Tuple[GillespieResult, float]:
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # lint: allow[DET001] host benchmark timing, not simulated time
     result = ctmc_sim.run_replication(stg, horizon, seed, start=start,
                                       health=health,
                                       health_config=health_config)
-    return result, time.perf_counter() - t0
+    return result, time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
 
 
 def _timed_fullstack(
@@ -107,12 +107,12 @@ def _timed_fullstack(
     health: Optional[ModelPrediction] = None,
     health_config: Optional[HealthConfig] = None,
 ) -> Tuple[FullStackResult, float]:
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # lint: allow[DET001] host benchmark timing, not simulated time
     result = fullstack.run_replication(config, horizon, seed,
                                        record_path=record_path,
                                        health=health,
                                        health_config=health_config)
-    return result, time.perf_counter() - t0
+    return result, time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
 
 
 def _fan_out(
@@ -360,14 +360,14 @@ def run_gillespie_batch(
     """
     _validate(replications, workers, horizon)
     seeds = spawn_seeds(seed, replications)
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # lint: allow[DET001] host benchmark timing, not simulated time
     outcomes = _fan_out(
         _timed_gillespie,
         [(stg, horizon, s, start, health, health_config)
          for s in seeds],
         workers,
     )
-    elapsed = time.perf_counter() - t0
+    elapsed = time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
     return GillespieBatchResult(
         results=[r for r, _ in outcomes],
         seeds=seeds,
@@ -408,14 +408,14 @@ def run_fullstack_batch(
             os.path.join(record_dir, f"rep-{i:04d}.jsonl")
             for i in range(replications)
         ]
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # lint: allow[DET001] host benchmark timing, not simulated time
     outcomes = _fan_out(
         _timed_fullstack,
         [(config, horizon, s, p, health, health_config)
          for s, p in zip(seeds, record_paths)],
         workers,
     )
-    elapsed = time.perf_counter() - t0
+    elapsed = time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
     return FullStackBatchResult(
         results=[r for r, _ in outcomes],
         seeds=seeds,

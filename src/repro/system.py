@@ -92,6 +92,14 @@ class SelfHealingSystem:
         ``time.monotonic``.  Inject a
         :class:`repro.obs.tracing.ManualClock` to stamp events with
         simulated time.
+    verify:
+        Opt-in N-version safety net: when ``True``, every plan the
+        analyzer emits is re-derived from first principles by the
+        independent checker (:func:`repro.lint.verify_plan` — shares no
+        code with the analyzer) before it is queued; a discrepancy
+        raises :class:`~repro.errors.RecoveryError` instead of healing
+        from a wrong plan.  Off by default (it re-traverses the log per
+        alert).
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class SelfHealingSystem:
         strategy: RecoveryStrategy = RecoveryStrategy.STRICT,
         bus: Optional[EventBus] = None,
         clock: Optional[Callable[[], float]] = None,
+        verify: bool = False,
     ) -> None:
         self._store = store
         self._log = log
@@ -112,7 +121,7 @@ class SelfHealingSystem:
         self._plans: BoundedQueue[RecoveryPlan] = BoundedQueue(recovery_buffer)
         self._strategy = strategy
         self._bus = bus
-        self._clock = clock if clock is not None else _time.monotonic
+        self._clock = clock if clock is not None else _time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
         # The queues publish their own typed drop events, so rejections
         # are observable with their clock time even on call paths that
         # never reach the system-level AlertLost instrumentation.
@@ -120,6 +129,7 @@ class SelfHealingSystem:
         self._plans.instrument("recovery", bus, self._clock)
         self._analyzer = RecoveryAnalyzer(log, self._specs, bus=bus,
                                           clock=self._clock)
+        self._verify = verify
         self._heals: List[HealReport] = []
         self._last_state = self.state
 
@@ -210,6 +220,8 @@ class SelfHealingSystem:
         plan = self._analyzer.analyze(
             [alert], outstanding=list(self._plans)
         )
+        if self._verify:
+            self._check_plan(plan)
         self._plans.push(plan)
         if self._bus is not None and self._bus.active:
             self._bus.publish(UnitEmitted(
@@ -218,6 +230,25 @@ class SelfHealingSystem:
             ))
             self._note_state()
         return plan
+
+    def _check_plan(self, plan: RecoveryPlan) -> None:
+        """Run the independent plan verifier; raise on any discrepancy.
+
+        Imported lazily so the lint package stays optional on the hot
+        path — constructing the system with ``verify=False`` (the
+        default) never touches it.
+        """
+        from repro.lint.plan_verifier import verify_plan
+
+        findings = verify_plan(self._log, self._specs, plan)
+        if findings:
+            detail = "; ".join(
+                f"{d.rule}: {d.message}" for d in findings[:3]
+            )
+            raise RecoveryError(
+                f"independent plan verification failed with "
+                f"{len(findings)} finding(s) — {detail}"
+            )
 
     def recovery_step(self) -> Optional[HealReport]:
         """Execute the queued recovery units (RECOVERY state only).

@@ -71,7 +71,7 @@ class PartialOrderScheduler(Generic[T]):
         self._executor = executor
         self._rng = rng
         self._bus = bus if bus is not None and bus.active else None
-        self._clock = clock if clock is not None else _time.monotonic
+        self._clock = clock if clock is not None else _time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
         self._executed: List[T] = []
 
     @property

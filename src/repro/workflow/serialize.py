@@ -143,17 +143,26 @@ class TaskDocument:
 
 @dataclass(frozen=True)
 class WorkflowDocument:
-    """Serializable description of a whole workflow."""
+    """Serializable description of a whole workflow.
+
+    ``lint`` carries optional lint configuration that travels with the
+    document (see :func:`repro.lint.config_from_document`): an
+    ``allow`` list of rule ids to suppress and blast-radius thresholds
+    (``blast_warn_fraction`` / ``blast_error_fraction``).  Unknown keys
+    round-trip untouched for forward compatibility.
+    """
 
     workflow_id: str
     tasks: Tuple[TaskDocument, ...]
     edges: Tuple[Tuple[str, str], ...]
+    lint: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tasks", tuple(self.tasks))
         object.__setattr__(
             self, "edges", tuple((a, b) for a, b in self.edges)
         )
+        object.__setattr__(self, "lint", dict(self.lint))
 
     # -- building ----------------------------------------------------------
 
@@ -180,11 +189,14 @@ class WorkflowDocument:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-JSON form."""
-        return {
+        out: Dict[str, Any] = {
             "workflow_id": self.workflow_id,
             "tasks": [t.to_dict() for t in self.tasks],
             "edges": [list(e) for e in self.edges],
         }
+        if self.lint:
+            out["lint"] = dict(self.lint)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkflowDocument":
@@ -200,6 +212,7 @@ class WorkflowDocument:
                 TaskDocument.from_dict(t) for t in data["tasks"]
             ),
             edges=tuple((e[0], e[1]) for e in data["edges"]),
+            lint=data.get("lint", {}),
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -46,19 +46,26 @@ class WorkflowSpec:
         object.__setattr__(self, "edges", frozenset(self.edges))
         succ: Dict[str, List[str]] = {t: [] for t in self.tasks}
         pred: Dict[str, List[str]] = {t: [] for t in self.tasks}
+        bad_edges: List[str] = []
         for src, dst in sorted(self.edges):
+            ok = True
             if src not in self.tasks:
-                raise UnknownTaskError(
+                bad_edges.append(
                     f"edge source {src!r} not declared in workflow "
                     f"{self.workflow_id!r}"
                 )
+                ok = False
             if dst not in self.tasks:
-                raise UnknownTaskError(
+                bad_edges.append(
                     f"edge target {dst!r} not declared in workflow "
                     f"{self.workflow_id!r}"
                 )
-            succ[src].append(dst)
-            pred[dst].append(src)
+                ok = False
+            if ok:
+                succ[src].append(dst)
+                pred[dst].append(src)
+        if bad_edges:
+            raise UnknownTaskError("; ".join(bad_edges), tuple(bad_edges))
         object.__setattr__(
             self, "_succ", {t: tuple(v) for t, v in succ.items()}
         )
@@ -176,34 +183,41 @@ class WorkflowSpec:
             )
 
     def _validate(self) -> None:
+        """Collect-then-raise: one error listing every defect found."""
         if not self.tasks:
             raise WorkflowSpecError(
                 f"workflow {self.workflow_id!r} has no tasks"
             )
+        problems: List[str] = []
         starts = [t for t in self.tasks if not self._pred[t]]
         if len(starts) != 1:
-            raise WorkflowSpecError(
+            problems.append(
                 f"workflow {self.workflow_id!r} must have exactly one "
                 f"0-indegree start node, found {sorted(starts)}"
             )
         if not any(not self._succ[t] for t in self.tasks):
-            raise WorkflowSpecError(
+            problems.append(
                 f"workflow {self.workflow_id!r} has no 0-outdegree end node"
             )
-        unreachable = (
-            set(self.tasks) - {starts[0]} - set(self.reachable_from(starts[0]))
-        )
-        if unreachable:
-            raise WorkflowSpecError(
-                f"workflow {self.workflow_id!r} has unreachable tasks: "
-                f"{sorted(unreachable)}"
+        if len(starts) == 1:
+            # Reachability is well-defined only with a unique start.
+            unreachable = (
+                set(self.tasks) - {starts[0]}
+                - set(self.reachable_from(starts[0]))
             )
-        for t in self.branch_nodes:
+            if unreachable:
+                problems.append(
+                    f"workflow {self.workflow_id!r} has unreachable "
+                    f"tasks: {sorted(unreachable)}"
+                )
+        for t in sorted(self.branch_nodes):
             if self.tasks[t].choose is None:
-                raise WorkflowSpecError(
+                problems.append(
                     f"branch node {t!r} (outdegree "
                     f"{len(self._succ[t])}) needs a choose function"
                 )
+        if problems:
+            raise WorkflowSpecError("; ".join(problems), tuple(problems))
 
 
 class WorkflowBuilder:

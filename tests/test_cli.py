@@ -283,13 +283,11 @@ class TestWorkflowDot:
         assert out.startswith('digraph "demo" {')
         assert '"a" -> "b";' in out
 
-    def test_invalid_document_raises(self, tmp_path):
-        from repro.errors import WorkflowSpecError
-
+    def test_invalid_document_exits_three(self, capsys, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{}")
-        with pytest.raises(WorkflowSpecError):
-            main(["workflow-dot", str(path)])
+        assert main(["workflow-dot", str(path)]) == 3
+        assert "workflow_id" in capsys.readouterr().err
 
 
 class TestObsFlightVerbs:
@@ -363,3 +361,93 @@ class TestObsFlightVerbs:
     def test_report_remains_the_default_action(self, capsys):
         assert main(["obs", "--scenario", "figure1"]) == 0
         assert "Observed figure1 incident" in capsys.readouterr().out
+
+
+class TestLint:
+    """The static-verification CLI: lint spec | plan | code."""
+
+    def _broken_doc(self, tmp_path):
+        import json
+
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({
+            "workflow_id": "broken",
+            "tasks": [{"id": "t1", "writes": {"x": "1"}},
+                      {"id": "t2", "writes": {"y": "2"}}],
+            "edges": [["t1", "ghost"]],
+        }), encoding="utf-8")
+        return path
+
+    def test_code_pass_on_clean_tree(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", "code", str(clean)]) == 0
+        assert "0 error" in capsys.readouterr().out
+
+    def test_code_pass_exits_two_on_error(self, capsys, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n",
+                         encoding="utf-8")
+        assert main(["lint", "code", str(dirty)]) == 2
+        out = capsys.readouterr().out
+        assert "DET001" in out and "1 error" in out
+
+    def test_shipped_codebase_lints_clean(self, capsys):
+        assert main(["lint", "code", "src/repro"]) == 0
+
+    def test_spec_pass_scenario_no_errors(self, capsys):
+        assert main(["lint", "spec", "--scenario", "figure1"]) == 0
+        assert "0 error" in capsys.readouterr().out
+
+    def test_spec_pass_all_scenarios_is_default(self, capsys):
+        assert main(["lint", "spec"]) == main(
+            ["lint", "spec", "--all-scenarios"]
+        )
+
+    def test_spec_pass_broken_document_exits_two(self, capsys, tmp_path):
+        code = main(["lint", "spec", str(self._broken_doc(tmp_path))])
+        assert code == 2
+        assert "SPEC001" in capsys.readouterr().out
+
+    def test_json_format_parses(self, capsys, tmp_path):
+        import json
+
+        main(["lint", "spec", str(self._broken_doc(tmp_path)),
+              "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["error"] >= 1
+        assert data["findings"][0]["rule"] == "SPEC001"
+
+    def test_sarif_out_writes_valid_file(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "lint.sarif"
+        main(["lint", "spec", "--scenario", "banking",
+              "--format", "sarif", "--out", str(out)])
+        assert "written to" in capsys.readouterr().out
+        sarif = json.loads(out.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"]
+
+    def test_plan_pass_on_recorded_flight_log(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["obs", "record", "--log", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "plan", str(path)]) == 0
+        assert "0 error" in capsys.readouterr().out
+
+    def test_plan_pass_flags_tampered_log(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main(["obs", "record", "--log", str(path)]) == 0
+        capsys.readouterr()
+        kept = [line for line in path.read_text().splitlines()
+                if '"T3.3"' not in line]
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text("\n".join(kept) + "\n", encoding="utf-8")
+        assert main(["lint", "plan", str(tampered)]) == 2
+        assert "PLAN021" in capsys.readouterr().out
+
+    def test_missing_document_exits_two_cleanly(self, capsys, tmp_path):
+        code = main(["lint", "spec", str(tmp_path / "nope.json")])
+        assert code != 0
+        assert capsys.readouterr().err

@@ -1,0 +1,189 @@
+"""Tests for the replay-determinism AST lint (DET001-005)."""
+
+import textwrap
+
+from repro.lint import lint_paths, lint_source
+from repro.lint.diagnostics import Severity
+
+
+def findings(source):
+    return lint_source(textwrap.dedent(source), "mod.py")
+
+
+def rules_of(diags):
+    return sorted(d.rule for d in diags)
+
+
+class TestDet001Clocks:
+    def test_call_flagged(self):
+        diags = findings("""
+            import time
+            t0 = time.perf_counter()
+        """)
+        assert rules_of(diags) == ["DET001"]
+        assert diags[0].file == "mod.py" and diags[0].line == 3
+        assert diags[0].severity is Severity.ERROR
+
+    def test_bare_reference_flagged(self):
+        # A clock passed as a default argument poisons replay exactly
+        # like a direct call.
+        diags = findings("""
+            import time
+            def f(clock=time.monotonic):
+                return clock()
+        """)
+        assert rules_of(diags) == ["DET001"]
+        assert "reference to" in diags[0].message
+
+    def test_from_import_and_alias(self):
+        diags = findings("""
+            from time import monotonic as mono
+            import time as t
+            a = mono()
+            b = t.time()
+        """)
+        assert rules_of(diags) == ["DET001", "DET001"]
+
+    def test_injected_clock_call_clean(self):
+        assert findings("""
+            def f(clock):
+                return clock()
+        """) == []
+
+
+class TestDet002GlobalRandom:
+    def test_module_level_functions_flagged(self):
+        diags = findings("""
+            import random
+            x = random.random()
+            random.shuffle([1, 2])
+            c = random.choice("ab")
+        """)
+        assert rules_of(diags) == ["DET002"] * 3
+
+    def test_seeded_instance_clean(self):
+        assert findings("""
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+            rng.shuffle([1, 2])
+        """) == []
+
+
+class TestDet003Calendar:
+    def test_now_and_today_flagged(self):
+        diags = findings("""
+            import datetime
+            from datetime import datetime as dt, date
+            a = datetime.datetime.now()
+            b = dt.utcnow()
+            c = date.today()
+        """)
+        assert rules_of(diags) == ["DET003"] * 3
+
+    def test_constructed_datetime_clean(self):
+        assert findings("""
+            from datetime import datetime
+            stamp = datetime(2004, 3, 23)
+        """) == []
+
+
+class TestDet004SetIteration:
+    def test_for_over_set_literal(self):
+        diags = findings("""
+            for x in {1, 2, 3}:
+                print(x)
+        """)
+        assert rules_of(diags) == ["DET004"]
+        assert diags[0].severity is Severity.WARN
+
+    def test_comprehension_over_set_call(self):
+        diags = findings("""
+            out = [x for x in set([3, 1])]
+            also = {x for x in frozenset([1]) if x}
+        """)
+        assert rules_of(diags) == ["DET004", "DET004"]
+
+    def test_set_algebra_flagged(self):
+        diags = findings("""
+            for x in set(a) - set(b):
+                print(x)
+        """)
+        assert rules_of(diags) == ["DET004"]
+
+    def test_sorted_set_clean(self):
+        assert findings("""
+            for x in sorted({3, 1, 2}):
+                print(x)
+        """) == []
+
+    def test_plain_name_iteration_not_flagged(self):
+        # Statically unknowable; the lint only flags provable sets.
+        assert findings("""
+            def f(items):
+                for x in items:
+                    print(x)
+        """) == []
+
+
+class TestDet005Entropy:
+    def test_urandom_uuid_secrets(self):
+        diags = findings("""
+            import os, uuid, secrets
+            a = os.urandom(8)
+            b = uuid.uuid4()
+            c = secrets.token_hex()
+        """)
+        assert rules_of(diags) == ["DET005"] * 3
+
+    def test_uuid5_is_deterministic(self):
+        assert findings("""
+            import uuid
+            ns = uuid.uuid5(uuid.NAMESPACE_DNS, "x")
+        """) == []
+
+
+class TestPragma:
+    def test_allow_suppresses_on_line(self):
+        diags = findings("""
+            import time
+            a = time.time()  # lint: allow[DET001] wall time on purpose
+            b = time.time()
+        """)
+        assert len(diags) == 1 and diags[0].line == 4
+
+    def test_allow_list_and_wrong_rule(self):
+        diags = findings("""
+            import time, random
+            a = time.time()  # lint: allow[DET001,DET002]
+            b = random.random()  # lint: allow[DET001]
+        """)
+        assert rules_of(diags) == ["DET002"]
+
+    def test_scope_is_recorded(self):
+        diags = findings("""
+            import time
+            class Runner:
+                def tick(self):
+                    return time.time()
+        """)
+        assert diags[0].where == "mod.py::Runner.tick"
+
+
+class TestCodebaseIsGreen:
+    def test_src_repro_has_no_findings(self):
+        """The satellite guarantee: every real finding in the codebase
+        was fixed or pragma-annotated with a justification."""
+        assert lint_paths(["src/repro"]) == []
+
+    def test_lint_paths_walks_files_and_dirs(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        bad = tmp_path / "pkg"
+        bad.mkdir()
+        (bad / "bad.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        diags = lint_paths([good, bad])
+        assert rules_of(diags) == ["DET001"]
+        assert diags[0].file.endswith("bad.py")

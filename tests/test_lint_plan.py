@@ -1,0 +1,342 @@
+"""Tests for the independent plan verifier.
+
+The verifier must (a) accept every plan the real analyzer produces,
+(b) reject seeded mutations of those plans with the right rule ids, and
+(c) genuinely share no code with the analyzer stack it is checking.
+"""
+
+import ast
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+import repro.lint.plan_verifier as plan_verifier_module
+from repro.core.actions import Action
+from repro.core.analyzer import RecoveryAnalyzer
+from repro.errors import RecoveryError
+from repro.lint import verify_flight_log, verify_plan
+from repro.lint.diagnostics import Severity
+from repro.obs.recorder import FlightRecorder, read_flight_log
+from repro.scenarios.figure1 import build_figure1
+from repro.system import SelfHealingSystem
+from repro.workflow.precedence import PartialOrder
+
+
+def figure1_case():
+    """Unhealed figure1 scenario with its (verified-clean) plan."""
+    sc = build_figure1(attacked=True)
+    plan = RecoveryAnalyzer(sc.log, sc.specs_by_instance).analyze(
+        [sc.malicious_uid]
+    )
+    return sc, plan
+
+
+def rules_of(diags):
+    return sorted({d.rule for d in diags})
+
+
+def rebuilt_order(plan, drop=(), add=(), flip=()):
+    """A copy of the plan's order with edges dropped/added/reversed."""
+    order = PartialOrder()
+    for element in plan.order.elements():
+        order.add_element(element)
+    for before, after in plan.order.edges():
+        if (before, after) in drop:
+            continue
+        if (before, after) in flip:
+            order.add_edge(after, before)
+        else:
+            order.add_edge(before, after)
+    for before, after in add:
+        order.add_edge(before, after)
+    return order
+
+
+class TestAcceptsAnalyzerPlans:
+    def test_figure1(self):
+        sc, plan = figure1_case()
+        assert verify_plan(sc.log, sc.specs_by_instance, plan) == []
+
+    def test_travel(self):
+        from repro.scenarios.travel import build_travel
+
+        sc = build_travel()
+        plan = RecoveryAnalyzer(sc.log, sc.specs_by_instance).analyze(
+            [sc.malicious_uid]
+        )
+        assert verify_plan(sc.log, sc.specs_by_instance, plan) == []
+
+    def test_supply_chain(self):
+        from repro.scenarios.supply_chain import build_supply_chain
+
+        sc = build_supply_chain()
+        plan = RecoveryAnalyzer(sc.log, sc.specs_by_instance).analyze(
+            [sc.malicious_uid]
+        )
+        assert verify_plan(sc.log, sc.specs_by_instance, plan) == []
+
+    def test_banking_forged_run(self):
+        from repro.scenarios.banking import build_banking
+
+        sc = build_banking()
+        forged = [
+            r.uid for r in sc.log.normal_records()
+            if r.instance.workflow_instance == sc.forged_run
+        ]
+        plan = RecoveryAnalyzer(sc.log, sc.specs_by_instance).analyze(
+            forged
+        )
+        assert verify_plan(sc.log, sc.specs_by_instance, plan) == []
+
+
+class TestSeededMutations:
+    """≥5 distinct planner-bug classes, each caught by the right rule."""
+
+    def test_mutation_dropped_undo(self):
+        sc, plan = figure1_case()
+        ua = plan.undo_analysis
+        victim = sorted(ua.infected)[-1]
+        mutated = replace(plan, undo_analysis=replace(
+            ua, infected=ua.infected - {victim}
+        ))
+        diags = verify_plan(sc.log, sc.specs_by_instance, mutated)
+        assert "PLAN001" in rules_of(diags)
+        assert all(d.severity is Severity.ERROR for d in diags)
+
+    def test_mutation_spurious_undo(self):
+        sc, plan = figure1_case()
+        ua = plan.undo_analysis
+        outsider = sorted(
+            {r.uid for r in sc.log.normal_records()} - ua.definite
+            - ua.candidates
+        )[0]
+        mutated = replace(plan, undo_analysis=replace(
+            ua, infected=ua.infected | {outsider}
+        ))
+        assert "PLAN002" in rules_of(
+            verify_plan(sc.log, sc.specs_by_instance, mutated)
+        )
+
+    def test_mutation_dropped_redo(self):
+        sc, plan = figure1_case()
+        ra = plan.redo_analysis
+        victim = sorted(ra.definite)[0]
+        mutated = replace(plan, redo_analysis=replace(
+            ra, definite=ra.definite - {victim}
+        ))
+        assert "PLAN003" in rules_of(
+            verify_plan(sc.log, sc.specs_by_instance, mutated)
+        )
+
+    def test_mutation_extra_redo(self):
+        sc, plan = figure1_case()
+        ra = plan.redo_analysis
+        outsider = sorted(
+            {r.uid for r in sc.log.normal_records()}
+            - plan.undo_analysis.definite
+        )[0]
+        mutated = replace(plan, redo_analysis=replace(
+            ra, definite=ra.definite | {outsider}
+        ))
+        diags = verify_plan(sc.log, sc.specs_by_instance, mutated)
+        assert "PLAN004" in rules_of(diags)
+
+    def test_mutation_dropped_t33_edge(self):
+        sc, plan = figure1_case()
+        uid = sorted(plan.redo_analysis.definite)[0]
+        dropped = (Action.undo(uid), Action.redo(uid))
+        mutated = replace(plan, order=rebuilt_order(plan, drop=[dropped]))
+        diags = verify_plan(sc.log, sc.specs_by_instance, mutated)
+        assert "PLAN005" in rules_of(diags)
+        assert any("T3.3" in d.message for d in diags)
+
+    def test_mutation_reversed_edge(self):
+        sc, plan = figure1_case()
+        uid = sorted(plan.redo_analysis.definite)[0]
+        flipped = (Action.undo(uid), Action.redo(uid))
+        mutated = replace(plan, order=rebuilt_order(plan, flip=[flipped]))
+        rules = rules_of(verify_plan(sc.log, sc.specs_by_instance, mutated))
+        assert "PLAN005" in rules  # required direction now missing
+        assert "PLAN006" in rules  # reversed direction is unjustified
+
+    def test_mutation_spurious_edge(self):
+        sc, plan = figure1_case()
+        # No Theorem 3 rule ever orders a redo before another
+        # instance's undo, so this edge is unjustified by construction.
+        redo_uid = sorted(plan.redo_analysis.definite)[0]
+        undo_uid = sorted(plan.undo_analysis.definite - {redo_uid})[0]
+        extra = (Action.redo(redo_uid), Action.undo(undo_uid))
+        assert extra not in set(plan.order.edges())
+        mutated = replace(plan, order=rebuilt_order(plan, add=[extra]))
+        rules = rules_of(verify_plan(sc.log, sc.specs_by_instance, mutated))
+        assert "PLAN006" in rules
+
+    def test_mutation_cycle(self):
+        sc, plan = figure1_case()
+        before, after = sorted(
+            plan.order.edges(), key=lambda e: (str(e[0]), str(e[1]))
+        )[0]
+        mutated = replace(plan, order=rebuilt_order(
+            plan, add=[(after, before)]
+        ))
+        rules = rules_of(verify_plan(sc.log, sc.specs_by_instance, mutated))
+        assert "PLAN007" in rules
+
+    def test_mutation_candidate_tampering(self):
+        sc, plan = figure1_case()
+        ua = plan.undo_analysis
+        assert ua.control_candidates  # figure1 has abandoned branches
+        mutated = replace(plan, undo_analysis=replace(
+            ua, control_candidates=frozenset()
+        ))
+        rules = rules_of(verify_plan(sc.log, sc.specs_by_instance, mutated))
+        assert "PLAN009" in rules
+
+
+class TestIndependence:
+    """The N-version discipline, enforced: the verifier must not import
+    the code it verifies, nor the shared dependence substrate."""
+
+    FORBIDDEN = {
+        "repro.core.analyzer",
+        "repro.core.partial_orders",
+        "repro.core.undo_redo",
+        "repro.workflow.dependency",
+        "repro.workflow.dominators",
+    }
+
+    def test_no_forbidden_imports(self):
+        source = Path(plan_verifier_module.__file__).read_text(
+            encoding="utf-8"
+        )
+        imported = set()
+        for node in ast.walk(ast.parse(source)):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imported.add(node.module)
+                imported.update(
+                    f"{node.module}.{alias.name}" for alias in node.names
+                )
+        hits = imported & self.FORBIDDEN
+        assert not hits, f"verifier imports generator code: {hits}"
+
+
+class TestSystemVerifyHook:
+    def test_verified_scan_step_accepts_sound_plan(self):
+        sc = build_figure1(attacked=True)
+        system = SelfHealingSystem(
+            sc.store, sc.log, sc.specs_by_instance, verify=True
+        )
+        assert system.submit_alert(sc.malicious_uid)
+        assert system.scan_step() is not None
+        assert len(system.heal_reports) == 0
+
+    def test_corrupt_plan_raises_before_queuing(self, monkeypatch):
+        sc = build_figure1(attacked=True)
+        system = SelfHealingSystem(
+            sc.store, sc.log, sc.specs_by_instance, verify=True
+        )
+        real_analyze = system._analyzer.analyze
+
+        def corrupt_analyze(alerts, outstanding=()):
+            plan = real_analyze(alerts, outstanding=outstanding)
+            ua = plan.undo_analysis
+            return replace(plan, undo_analysis=replace(
+                ua, infected=ua.infected - {sorted(ua.infected)[-1]}
+            ))
+
+        monkeypatch.setattr(system._analyzer, "analyze", corrupt_analyze)
+        system.submit_alert(sc.malicious_uid)
+        with pytest.raises(RecoveryError, match="PLAN001"):
+            system.scan_step()
+        assert system.recovery_units_queued == 0
+
+    def test_default_is_unverified(self):
+        sc = build_figure1(attacked=True)
+        system = SelfHealingSystem(sc.store, sc.log, sc.specs_by_instance)
+        assert system._verify is False
+
+
+def recorded_figure1_lines():
+    """A figure1 flight log as a list of JSONL lines."""
+    from repro.obs.runner import run_figure1_observed
+
+    flight = FlightRecorder(label="figure1")
+    run_figure1_observed(flight=flight)
+    flight.close()
+    return [line for line in flight.text().splitlines() if line.strip()]
+
+
+def log_from(lines):
+    return read_flight_log("\n".join(lines))
+
+
+class TestFlightLogVerification:
+    @pytest.fixture(scope="class")
+    def lines(self):
+        return recorded_figure1_lines()
+
+    def test_sound_log_verifies_clean(self, lines):
+        assert verify_flight_log(log_from(lines)) == []
+
+    def test_dropped_t33_edges_flagged(self, lines):
+        tampered = [
+            line for line in lines
+            if not ('"OrderConstraint"' in line and '"T3.3"' in line)
+        ]
+        assert len(tampered) < len(lines)
+        diags = verify_flight_log(log_from(tampered))
+        assert "PLAN021" in rules_of(diags)
+
+    def test_cyclic_recorded_edges_flagged(self, lines):
+        edge = next(json.loads(line) for line in lines
+                    if '"OrderConstraint"' in line)
+        reversed_edge = dict(edge, before=edge["after"],
+                             after=edge["before"])
+        diags = verify_flight_log(
+            log_from(lines + [json.dumps(reversed_edge)])
+        )
+        assert "PLAN020" in rules_of(diags)
+
+    def test_schedule_violating_edge_flagged(self, lines):
+        # Swap the dispatched actions of an undo/redo pair for one
+        # instance: positions stay, actions trade places, so the
+        # realized schedule now contradicts the T3.3 edge.
+        uid = next(
+            json.loads(line)["uid"] for line in lines
+            if '"RedoDecision"' in line
+        )
+        undo, redo = f"undo({uid})", f"redo({uid})"
+        tampered = []
+        for line in lines:
+            if '"ActionDispatched"' in line:
+                record = json.loads(line)
+                if record["action"] == undo:
+                    record["action"] = redo
+                    line = json.dumps(record)
+                elif record["action"] == redo:
+                    record["action"] = undo
+                    line = json.dumps(record)
+            tampered.append(line)
+        diags = verify_flight_log(log_from(tampered))
+        assert "PLAN022" in rules_of(diags)
+
+    def test_unplanned_execution_flagged(self, lines):
+        ghost = json.dumps({
+            "record": "event", "event": "TaskUndone", "time": 99.0,
+            "uid": "wf9/ghost#1", "reason": "closure",
+        })
+        diags = verify_flight_log(log_from(lines + [ghost]))
+        assert "PLAN023" in rules_of(diags)
+
+    def test_redo_outside_undo_flagged(self, lines):
+        # A definite redo decision for an instance never undone.
+        ghost = json.dumps({
+            "record": "event", "event": "RedoDecision", "time": 99.0,
+            "uid": "wf9/ghost#1", "condition": "T2.1", "via": [],
+        })
+        diags = verify_flight_log(log_from(lines + [ghost]))
+        assert "PLAN024" in rules_of(diags)

@@ -1,0 +1,274 @@
+"""Tests for the static spec lint rules (SPEC001, SPEC101-106)."""
+
+import pytest
+
+from repro.errors import UnknownTaskError, WorkflowSpecError
+from repro.lint import (
+    SpecLintConfig,
+    config_from_document,
+    lint_documents,
+    lint_specs,
+)
+from repro.lint.diagnostics import Severity
+from repro.workflow.serialize import TaskDocument, WorkflowDocument
+from repro.workflow.spec import workflow
+
+
+def rules_of(diags):
+    return sorted({d.rule for d in diags})
+
+
+def by_rule(diags, rule):
+    return [d for d in diags if d.rule == rule]
+
+
+def clean_pair():
+    """Two tiny workflows with fully-consumed data and no branches."""
+    a = (
+        workflow("a")
+        .task("a1", writes=["x"], compute=lambda d: {"x": 1})
+        .task("a2", reads=["x"], compute=lambda d: {})
+        .chain("a1", "a2")
+        .build()
+    )
+    b = (
+        workflow("b")
+        .task("b1", reads=["x"], compute=lambda d: {})
+        .build()
+    )
+    return [a, b]
+
+
+class TestCleanSpecs:
+    def test_no_findings(self):
+        # A 3-task system where everything is consumed: any damage
+        # radius covers most of it, so park SPEC106 at its ceiling.
+        config = SpecLintConfig(blast_warn_fraction=1.0)
+        assert lint_specs(clean_pair(), config) == []
+
+
+class TestSpec101DeadEnd:
+    def test_cycle_region_without_exit(self):
+        spec = (
+            workflow("w")
+            .task("t1", choose=lambda d: "t2")
+            .task("t2", compute=lambda d: {})
+            .task("t3", compute=lambda d: {})
+            .task("e", compute=lambda d: {})
+            .edge("t1", "t2").edge("t2", "t3").edge("t3", "t2")
+            .edge("t1", "e")
+            .build()
+        )
+        diags = by_rule(lint_specs([spec]), "SPEC101")
+        assert sorted(d.message.split("'")[1] for d in diags) == ["t2", "t3"]
+        assert all(d.severity is Severity.WARN for d in diags)
+
+    def test_linear_workflow_clean(self):
+        spec = (
+            workflow("w")
+            .task("t1", compute=lambda d: {})
+            .task("t2", compute=lambda d: {})
+            .chain("t1", "t2")
+            .build()
+        )
+        assert by_rule(lint_specs([spec]), "SPEC101") == []
+
+
+class TestSpec102And103Data:
+    def test_dead_write_and_phantom_read(self):
+        spec = (
+            workflow("w")
+            .task("t1", reads=["cfg"], writes=["tmp"],
+                  compute=lambda d: {"tmp": 0})
+            .build()
+        )
+        diags = lint_specs([spec])
+        dead = by_rule(diags, "SPEC102")
+        phantom = by_rule(diags, "SPEC103")
+        assert len(dead) == 1 and "'tmp'" in dead[0].message
+        assert len(phantom) == 1 and "'cfg'" in phantom[0].message
+        # Both informational: legitimate outputs / initial data exist.
+        assert dead[0].severity is Severity.INFO
+        assert phantom[0].severity is Severity.INFO
+
+    def test_cross_workflow_consumption_counts(self):
+        # 'x' is written in workflow a and read only in workflow b —
+        # system-scope linting must not flag it.
+        assert by_rule(lint_specs(clean_pair()), "SPEC102") == []
+
+
+class TestSpec104BranchContention:
+    def test_branch_on_foreign_written_object(self):
+        decider = (
+            workflow("decider")
+            .task("t1", reads=["shared"],
+                  choose=lambda d: "yes" if d["shared"] else "no")
+            .task("yes", compute=lambda d: {})
+            .task("no", compute=lambda d: {})
+            .edge("t1", "yes").edge("t1", "no")
+            .build()
+        )
+        writer = (
+            workflow("writer")
+            .task("w1", writes=["shared"], compute=lambda d: {"shared": 1})
+            .build()
+        )
+        diags = by_rule(lint_specs([decider, writer]), "SPEC104")
+        assert len(diags) == 1
+        assert "writer/w1" in diags[0].message
+        assert diags[0].severity is Severity.WARN
+
+    def test_own_workflow_writes_do_not_count(self):
+        spec = (
+            workflow("w")
+            .task("t1", writes=["flag"], compute=lambda d: {"flag": 1})
+            .task("t2", reads=["flag"],
+                  choose=lambda d: "a" if d["flag"] else "b")
+            .task("a", compute=lambda d: {})
+            .task("b", compute=lambda d: {})
+            .chain("t1", "t2")
+            .edge("t2", "a").edge("t2", "b")
+            .build()
+        )
+        assert by_rule(lint_specs([spec]), "SPEC104") == []
+
+
+class TestSpec105UndoAmbiguity:
+    def test_skippable_writer_with_reader(self):
+        spec = (
+            workflow("w")
+            .task("t1", choose=lambda d: "opt")
+            .task("opt", writes=["u"], compute=lambda d: {"u": 1})
+            .task("join", reads=["u"], compute=lambda d: {})
+            .edge("t1", "opt").edge("t1", "join").edge("opt", "join")
+            .build()
+        )
+        diags = by_rule(lint_specs([spec]), "SPEC105")
+        assert len(diags) == 1
+        assert "'opt'" in diags[0].message
+        assert "t1" in diags[0].message  # names the controlling branch
+
+    def test_unavoidable_writer_clean(self):
+        assert by_rule(lint_specs(clean_pair()), "SPEC105") == []
+
+
+class TestSpec106BlastRadius:
+    def _chained(self):
+        return (
+            workflow("w")
+            .task("t1", writes=["x"], compute=lambda d: {"x": 1})
+            .task("t2", reads=["x"], writes=["y"],
+                  compute=lambda d: {"y": 1})
+            .task("t3", reads=["y"], compute=lambda d: {})
+            .chain("t1", "t2", "t3")
+            .build()
+        )
+
+    def test_quiet_at_default_threshold_triggers_when_lowered(self):
+        spec = self._chained()
+        low = SpecLintConfig(blast_warn_fraction=0.5)
+        diags = by_rule(lint_specs([spec], low), "SPEC106")
+        assert diags  # t1's closure covers the whole chain
+        assert all(d.severity is Severity.WARN for d in diags)
+        assert by_rule(
+            lint_specs([spec], SpecLintConfig(blast_warn_fraction=1.0)),
+            "SPEC106",
+        ) == []
+
+    def test_escalates_to_error_past_error_fraction(self):
+        config = SpecLintConfig(blast_warn_fraction=0.3,
+                                blast_error_fraction=0.5)
+        diags = by_rule(lint_specs([self._chained()], config), "SPEC106")
+        assert any(d.severity is Severity.ERROR for d in diags)
+
+
+class TestAllowlist:
+    def test_allow_suppresses_rule(self):
+        spec = (
+            workflow("w")
+            .task("t1", writes=["tmp"], compute=lambda d: {"tmp": 0})
+            .build()
+        )
+        assert by_rule(lint_specs([spec]), "SPEC102")
+        config = SpecLintConfig(allow=frozenset({"SPEC102"}))
+        assert lint_specs([spec], config) == []
+
+
+class TestDocuments:
+    def _good_doc(self, **kw):
+        return WorkflowDocument(
+            workflow_id="order",
+            tasks=(
+                TaskDocument("price", writes={"total": "qty * 2"}),
+                TaskDocument("ship", writes={"done": "total >= 0"}),
+            ),
+            edges=(("price", "ship"),),
+            **kw,
+        )
+
+    def test_config_from_document(self):
+        doc = self._good_doc(lint={
+            "allow": ["SPEC102"],
+            "blast_warn_fraction": 0.4,
+            "blast_error_fraction": 0.9,
+        })
+        config = config_from_document(doc)
+        assert config.allow == frozenset({"SPEC102"})
+        assert config.blast_warn_fraction == 0.4
+        assert config.blast_error_fraction == 0.9
+
+    def test_document_allowlist_applies(self):
+        doc = self._good_doc(lint={"allow": ["SPEC102", "SPEC103"]})
+        assert lint_documents([doc]) == []
+        noisy = self._good_doc()
+        assert rules_of(lint_documents([noisy])) == ["SPEC102", "SPEC103"]
+
+    def test_spec001_matches_constructor_problems(self):
+        # Two structural defects at once: a branch node without a
+        # choose function AND a cycle region unreachable from the
+        # start — collect-then-raise reports both in one exception.
+        doc = WorkflowDocument(
+            workflow_id="broken",
+            tasks=(
+                TaskDocument("t1", writes={"x": "1"}),
+                TaskDocument("t2", writes={"y": "2"}),
+                TaskDocument("t3", writes={"z": "3"}),
+                TaskDocument("t4", writes={"p": "4"}),
+                TaskDocument("t5", writes={"q": "5"}),
+            ),
+            edges=(("t1", "t2"), ("t1", "t3"),
+                   ("t4", "t5"), ("t5", "t4")),
+        )
+        with pytest.raises(WorkflowSpecError) as excinfo:
+            doc.build()
+        problems = excinfo.value.problems
+        assert len(problems) > 1
+        diags = by_rule(lint_documents([doc]), "SPEC001")
+        assert [d.message for d in diags] == sorted(
+            str(p) for p in problems
+        ) or [d.message for d in diags] == [str(p) for p in problems]
+        assert all(d.severity is Severity.ERROR for d in diags)
+
+    def test_unknown_edge_targets_all_reported(self):
+        doc = WorkflowDocument(
+            workflow_id="broken",
+            tasks=(TaskDocument("t1", writes={"x": "1"}),),
+            edges=(("t1", "ghost"), ("phantom", "t1")),
+        )
+        with pytest.raises(UnknownTaskError) as excinfo:
+            doc.build()
+        assert len(excinfo.value.problems) == 2
+        diags = by_rule(lint_documents([doc]), "SPEC001")
+        assert len(diags) == 2
+        assert any("ghost" in d.message for d in diags)
+        assert any("phantom" in d.message for d in diags)
+
+
+class TestScenariosLintClean:
+    @pytest.mark.parametrize("name", ["figure1", "banking", "travel",
+                                      "supply-chain"])
+    def test_no_error_findings(self, name):
+        from repro.cli import _scenario_specs
+
+        diags = lint_specs(_scenario_specs(name))
+        assert not [d for d in diags if d.severity is Severity.ERROR]

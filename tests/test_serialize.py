@@ -123,6 +123,42 @@ class TestRoundTrip:
             TaskDocument.from_dict({"writes": {}})
 
 
+class TestLintMetadataRoundTrip:
+    def _doc_with_lint(self):
+        doc = order_document()
+        import dataclasses
+
+        return dataclasses.replace(doc, lint={
+            "allow": ["SPEC102"],
+            "blast_warn_fraction": 0.8,
+            "note": "tuned for the order scenario",
+        })
+
+    def test_lint_mapping_survives_dict_round_trip(self):
+        doc = self._doc_with_lint()
+        again = WorkflowDocument.from_dict(doc.to_dict())
+        assert again == doc
+        assert again.lint["note"] == "tuned for the order scenario"
+
+    def test_lint_mapping_survives_json_round_trip(self):
+        doc = self._doc_with_lint()
+        again = WorkflowDocument.from_json(doc.to_json())
+        assert again == doc
+
+    def test_empty_lint_mapping_omitted_from_serialization(self):
+        doc = order_document()
+        assert doc.lint == {}
+        assert "lint" not in doc.to_dict()
+        assert WorkflowDocument.from_dict(doc.to_dict()) == doc
+
+    def test_lint_results_stable_across_round_trip(self):
+        from repro.lint import lint_documents
+
+        doc = self._doc_with_lint()
+        again = WorkflowDocument.from_json(doc.to_json())
+        assert lint_documents([doc]) == lint_documents([again])
+
+
 class TestHealingSerializedWorkflows:
     def test_attack_and_heal_document_built_spec(self):
         """A serialized workflow behaves identically under recovery."""
