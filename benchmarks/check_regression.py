@@ -2,15 +2,17 @@
 """Benchmark regression gate.
 
 Compares freshly produced ``BENCH_ctmc.json`` / ``BENCH_sim.json``
-(from ``benchmarks/bench_scale.py --out-dir ...``) against the
+(from ``benchmarks/bench_scale.py --out-dir ...``) and, when present,
+``BENCH_fleet.json`` (from ``benchmarks/bench_fleet.py``) against the
 committed baselines at the repository root and fails (exit 1) when:
 
 - either file is structurally invalid (wrong benchmark name, empty
   results);
 - a correctness invariant broke: any CTMC backend disagreement
-  (``max_abs_diff``) above ``--max-abs-diff``, or any simulation row
+  (``max_abs_diff``) above ``--max-abs-diff``, any simulation row
   with ``results_identical: false`` (workers=K must reproduce
-  workers=1 bit-exactly);
+  workers=1 bit-exactly), or any fleet row with
+  ``workers_identical: false`` / ``audits_ok: false``;
 - on rows present in *both* files (matched by ``buffer`` for the CTMC
   sweep, ``replications`` for the simulation batch), a speedup fell by
   more than ``--tolerance`` (default 25%) relative to the committed
@@ -29,7 +31,7 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 #: Operations timed per CTMC row.
 CTMC_OPS = ("steady_state", "transient", "passage")
@@ -139,6 +141,54 @@ def check_sim(fresh: dict, baseline: dict, tolerance: float) -> List[str]:
     return failures
 
 
+def check_fleet(fresh: dict, baseline: Optional[dict],
+                tolerance: float) -> List[str]:
+    """Failures found in the fleet control-plane sweep.
+
+    Correctness invariants (worker-count independence, end-to-end
+    strict-correctness audits) always apply.  Throughput comparison
+    needs a committed ``BENCH_fleet.json`` baseline with overlapping
+    tenant counts; an absent baseline (older checkouts) is tolerated —
+    the fleet benchmark is newer than the other two.
+    """
+    failures: List[str] = []
+    for row in fresh["results"]:
+        if not row.get("workers_identical", False):
+            failures.append(
+                f"fleet tenants={row['tenants']}: parallel per-tenant "
+                "results differ from serial (worker-count invariance "
+                "broke)"
+            )
+        if not row.get("audits_ok", True):
+            failures.append(
+                f"fleet tenants={row['tenants']}: a tenant failed its "
+                "end-to-end strict-correctness audit"
+            )
+    compared = 0
+    if baseline is not None:
+        base_by_tenants: Dict[int, dict] = {
+            row["tenants"]: row for row in baseline["results"]
+        }
+        for row in fresh["results"]:
+            base = base_by_tenants.get(row["tenants"])
+            if base is None:
+                continue
+            fresh_thr = row.get("throughput_alerts_per_s")
+            base_thr = base.get("throughput_alerts_per_s")
+            if not fresh_thr or not base_thr:
+                continue
+            compared += 1
+            if fresh_thr < base_thr * (1.0 - tolerance):
+                failures.append(
+                    f"fleet tenants={row['tenants']}: throughput "
+                    f"regressed {base_thr:.0f} -> {fresh_thr:.0f} "
+                    f"alerts/s (> {tolerance:.0%} below baseline)"
+                )
+    print(f"fleet: {len(fresh['results'])} rows checked, "
+          f"{compared} throughputs compared against baseline")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -171,6 +221,18 @@ def main(argv=None) -> int:
                    args.max_abs_diff)
         + check_sim(fresh_sim, base_sim, args.tolerance)
     )
+
+    # The fleet sweep is optional on both sides: a fresh run may skip
+    # it, and older baselines predate it entirely.
+    fresh_fleet_path = args.fresh_dir / "BENCH_fleet.json"
+    if fresh_fleet_path.exists():
+        fresh_fleet = _load(fresh_fleet_path, "fleet")
+        base_fleet_path = args.baseline_dir / "BENCH_fleet.json"
+        base_fleet = (_load(base_fleet_path, "fleet")
+                      if base_fleet_path.exists() else None)
+        failures += check_fleet(fresh_fleet, base_fleet, args.tolerance)
+    else:
+        print("fleet: no fresh BENCH_fleet.json, skipped")
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark regression(s):")
         for failure in failures:

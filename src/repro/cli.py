@@ -14,6 +14,7 @@ Exposes the library's main flows without writing code::
     repro-workflow obs replay --log run.jsonl       # deterministic replay
     repro-workflow obs explain 'wf1/t6#1'           # causal chain
     repro-workflow obs trace --out trace.json       # Chrome/Perfetto trace
+    repro-workflow fleet --tenants 16 --serve 0     # multi-tenant fleet
     repro-workflow lint spec --all-scenarios        # static spec checks
     repro-workflow lint plan run.jsonl              # verify recovery provenance
     repro-workflow lint code src/repro              # determinism lint
@@ -33,6 +34,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.errors import (
+    FleetError,
     ObsError,
     RecoveryError,
     SchedulingError,
@@ -797,6 +799,94 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Multi-tenant fleet: N sharded self-healing systems behind one
+    prioritized recovery control plane.
+
+    Each tenant runs a workload archetype from ``--mix`` under its own
+    Poisson attack process; alerts multiplex through a central priority
+    queue where breaching tenants preempt healthy ones, and ``--workers
+    K`` threads process shards concurrently (per-tenant results are
+    identical at any worker count).  ``--serve PORT`` then exposes the
+    fleet telemetry over HTTP: ``/slo`` is the fleet rollup,
+    ``/slo?tenant=ID`` the drill-down, ``/healthz`` probes the worst-of
+    verdict.
+
+    Exit code 0 when every tenant audits strictly correct and the
+    fleet's final verdict is not BREACH; 1 otherwise; 3 on domain
+    errors (unknown archetypes, invalid counts).
+    """
+    from repro.fleet import FleetConfig, FleetControlPlane
+
+    config = FleetConfig(
+        tenants=args.tenants,
+        mix=tuple(args.mix),
+        duration=args.duration,
+        tick=args.tick,
+        workers=args.workers,
+        central_capacity=args.central_capacity,
+        seed=args.seed,
+    )
+    plane = FleetControlPlane(config)
+    print(f"fleet: {config.tenants} tenant(s), mix "
+          f"{'/'.join(config.mix)}, duration {config.duration:g}, "
+          f"{config.workers} worker(s), seed {config.seed}")
+    report = plane.run()
+    health = report.health
+
+    table = Table(
+        f"Fleet of {config.tenants} after {report.ticks} rounds",
+        ["metric", "value"],
+    )
+    table.add_row("verdict", health.verdict.value)
+    for state, count in health.by_state.items():
+        table.add_row(f"tenants {state}", count)
+    table.add_row("attacks", report.attacks)
+    table.add_row("alerts accepted", report.alerts_accepted)
+    table.add_row("alerts lost", report.alerts_lost)
+    table.add_row("central deferrals", report.central_deferrals)
+    table.add_row("scans", report.scans)
+    table.add_row("heals", report.heals)
+    audits_ok = all(t.audits_ok for t in health.tenants)
+    table.add_row("audits strictly correct", audits_ok)
+    lat = health.as_dict()["latency"]
+    table.add_row("detect->heal p50", lat["p50"])
+    table.add_row("detect->heal p99", lat["p99"])
+    print(table.render())
+
+    troubled = [t for t in health.worst_tenants(5)
+                if t.verdict.value != "OK" or t.report.losses]
+    if troubled:
+        detail = Table("Worst tenants",
+                       ["tenant", "verdict", "attacks", "lost", "heals"])
+        for t in troubled:
+            detail.add_row(t.tenant, t.verdict.value, t.attacks,
+                           t.report.losses, t.heals)
+        print()
+        print(detail.render())
+
+    ok = audits_ok and health.verdict.value != "BREACH"
+    if args.serve is not None:
+        import threading
+
+        from repro.obs.server import TelemetryServer
+
+        server = TelemetryServer(registry=plane.registry, fleet=plane,
+                                 port=args.serve)
+        with server:
+            print(f"serving fleet telemetry at {server.url}", flush=True)
+            print("endpoints: /metrics /healthz /slo /slo?tenant=ID",
+                  flush=True)
+            try:
+                if args.serve_for > 0:
+                    threading.Event().wait(args.serve_for)
+                else:
+                    threading.Event().wait()
+            except KeyboardInterrupt:
+                pass
+    return 0 if ok else 1
+
+
 _LINT_SCENARIOS = ("figure1", "banking", "travel", "supply-chain")
 
 
@@ -1048,6 +1138,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "default 200)")
     p.set_defaults(fn=cmd_obs)
 
+    p = sub.add_parser("fleet", help=cmd_fleet.__doc__)
+    p.add_argument("--tenants", type=_positive_int, default=8,
+                   help="number of tenant shards (default 8)")
+    p.add_argument("--mix", nargs="+",
+                   default=["figure1", "banking", "travel", "supply"],
+                   help="workload archetypes assigned round-robin "
+                        "(default: all four; unknown names exit 3)")
+    p.add_argument("--duration", type=float, default=50.0,
+                   help="simulated run length (default 50)")
+    p.add_argument("--tick", type=float, default=1.0,
+                   help="scheduling round length (default 1)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="threads for the parallel shard-processing "
+                        "phase (default 1; results are identical at "
+                        "any worker count)")
+    p.add_argument("--central-capacity", type=int, default=0,
+                   help="central priority-queue capacity (default 0: "
+                        "4x tenants)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--serve", type=int, metavar="PORT", default=None,
+                   help="after the run, serve fleet telemetry over "
+                        "HTTP on PORT (0: ephemeral) — /metrics, "
+                        "/healthz, /slo, /slo?tenant=ID")
+    p.add_argument("--serve-for", type=float, metavar="SECONDS",
+                   default=60.0,
+                   help="how long to serve before exiting (default "
+                        "60; 0: until interrupted)")
+    p.set_defaults(fn=cmd_fleet)
+
     p = sub.add_parser("lint", help=cmd_lint.__doc__)
     p.add_argument("pass_", metavar="pass",
                    choices=["spec", "plan", "code"],
@@ -1100,7 +1219,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (ObsError, RecoveryError, SchedulingError,
+    except (FleetError, ObsError, RecoveryError, SchedulingError,
             SimulationError, WorkflowSpecError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_DOMAIN_ERROR

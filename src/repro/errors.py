@@ -24,6 +24,7 @@ __all__ = [
     "NotConvergedError",
     "SimulationError",
     "ObsError",
+    "FleetError",
 ]
 
 
@@ -129,4 +130,18 @@ class ObsError(ReproError):
     innermost open one, or one already finished), corrupt or
     wrong-schema flight-recorder logs, and provenance queries about
     instances a log never mentions.
+    """
+
+
+# --------------------------------------------------------------------------
+# Fleet control plane
+# --------------------------------------------------------------------------
+
+
+class FleetError(ReproError):
+    """The fleet control plane was misconfigured or misused.
+
+    Raised for unknown workload-mix archetypes, invalid tenant/worker
+    counts, and control-plane lifecycle violations (e.g. reading fleet
+    health before any tenants exist).
     """

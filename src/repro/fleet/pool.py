@@ -1,0 +1,66 @@
+"""Worker pool for the fleet control plane.
+
+A thin, order-preserving map over a thread pool.  Threads (not
+processes) because the per-shard work — damage analysis and healing —
+is CPU-light, allocation-heavy Python with no I/O, and shards share
+nothing mutable except the lock-protected obs layer; processes would
+pay pickling for no isolation gain.
+
+``workers=1`` degenerates to an inline loop with no pool at all, which
+is both the determinism baseline the acceptance test compares against
+and the zero-overhead default.  Wall-clock time is the *only* thing the
+worker count may change: shards are disjoint state driven by
+simulated-time clocks, so per-tenant results are identical at any
+worker count (pinned by ``tests/test_fleet.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import FleetError
+
+__all__ = ["WorkerPool"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class WorkerPool:
+    """Order-preserving parallel map with an inline ``workers=1`` mode.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise FleetError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=workers,
+                               thread_name_prefix="fleet")
+            if workers > 1 else None
+        )
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in input order.
+
+        A worker exception propagates to the caller (after the other
+        in-flight items finish), exactly like the inline mode.
+        """
+        if self._executor is None or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._executor.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (waits for in-flight work)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -5,12 +5,21 @@ the recovery analyzer, and the queue of recovery tasks feeding the
 scheduler.  Both are finite in a real system (Section IV-E); when the
 alert queue overflows, alerts are *lost* — the quantity the CTMC's loss
 probability measures.
+
+The fleet control plane (:mod:`repro.fleet`) multiplexes every tenant's
+alerts through one :class:`PriorityBoundedQueue`: the same bounded
+semantics, but items carry a priority class (BREACH-tenant alerts
+preempt OK-tenant alerts) with FIFO order preserved *within* each
+class.  Queues are not internally locked — the architecture admits and
+drains them in serial phases; only the obs layer
+(:class:`~repro.obs.metrics.MetricsRegistry`,
+:class:`~repro.obs.events.EventBus`) is shared across fleet workers.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Callable,
     Deque,
@@ -25,7 +34,7 @@ from typing import (
 from repro.errors import QueueFullError
 from repro.obs.events import EventBus, QueueItemDropped
 
-__all__ = ["Alert", "BoundedQueue"]
+__all__ = ["Alert", "BoundedQueue", "PriorityBoundedQueue"]
 
 T = TypeVar("T")
 
@@ -69,6 +78,12 @@ class BoundedQueue(Generic[T]):
     metrics layer need (occupancy, not just losses).  An optional
     instrumentation hook (:meth:`set_hook`) observes every mutation;
     when unset the only overhead is one ``None`` check per operation.
+
+    Storage is accessed only through the ``_store`` / ``_take`` /
+    ``_peek_next`` / ``_size`` / ``_iter_items`` primitives, so
+    subclasses (:class:`PriorityBoundedQueue`) can change the queueing
+    discipline without touching the capacity, loss-accounting,
+    high-water, hook, or drop-event machinery.
     """
 
     def __init__(self, capacity: int,
@@ -84,6 +99,38 @@ class BoundedQueue(Generic[T]):
         self._name = ""
         self._bus: Optional[EventBus] = None
         self._clock: Optional[Callable[[], float]] = None
+
+    # -- storage primitives (the only methods touching the backing
+    # -- container; subclasses override these) ----------------------------
+
+    def _size(self) -> int:
+        return len(self._items)
+
+    def _store(self, item: T) -> None:
+        self._items.append(item)
+
+    def _take(self) -> T:
+        return self._items.popleft()
+
+    def _peek_next(self) -> T:
+        return self._items[0]
+
+    def _iter_items(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def _class_of(self, item: T) -> int:
+        """Priority class of ``item`` (base queue: everything is 0)."""
+        return 0
+
+    def _make_room(self, item: T) -> bool:
+        """Try to make room for ``item`` when at capacity.
+
+        The base FIFO queue never evicts; subclasses may (priority
+        preemption).  Returns ``True`` when a slot was freed.
+        """
+        return False
+
+    # -- stats -------------------------------------------------------------
 
     @property
     def capacity(self) -> int:
@@ -130,31 +177,41 @@ class BoundedQueue(Generic[T]):
         mark at the current occupancy (queued items are untouched)."""
         self._lost = 0
         self._accepted = 0
-        self._high_water = len(self._items)
+        self._high_water = self._size()
+
+    def _note_lost(self, item: T) -> None:
+        """Account one rejected (or evicted) item and publish its drop."""
+        self._lost += 1
+        if self._bus is not None and self._clock is not None:
+            self._bus.publish(QueueItemDropped(
+                self._clock(), queue=self._name,
+                depth=self._size(), lost_total=self._lost,
+                priority=self._class_of(item),
+            ))
+        if self._hook is not None:
+            self._hook("lost", self)
 
     def offer(self, item: T) -> bool:
         """Enqueue ``item`` if capacity allows; count a loss otherwise."""
-        if len(self._items) >= self._capacity:
-            self._lost += 1
-            if self._bus is not None and self._clock is not None:
-                self._bus.publish(QueueItemDropped(
-                    self._clock(), queue=self._name,
-                    depth=len(self._items), lost_total=self._lost,
-                ))
-            if self._hook is not None:
-                self._hook("lost", self)
+        if self._size() >= self._capacity and not self._make_room(item):
+            self._note_lost(item)
             return False
-        self._items.append(item)
+        self._store(item)
         self._accepted += 1
-        if len(self._items) > self._high_water:
-            self._high_water = len(self._items)
+        if self._size() > self._high_water:
+            self._high_water = self._size()
         if self._hook is not None:
             self._hook("offer", self)
         return True
 
     def push(self, item: T) -> None:
-        """Enqueue ``item`` or raise :class:`QueueFullError`."""
-        if len(self._items) >= self._capacity:
+        """Enqueue ``item`` or raise :class:`QueueFullError`.
+
+        ``push`` never evicts — a full queue is an error even for
+        priority queues with preemption enabled (callers that want
+        preemption use :meth:`offer`).
+        """
+        if self._size() >= self._capacity:
             # push's failure is an error, not a loss
             raise QueueFullError(
                 f"queue full (capacity {self._capacity})"
@@ -162,32 +219,154 @@ class BoundedQueue(Generic[T]):
         self.offer(item)
 
     def pop(self) -> T:
-        """Dequeue the oldest item."""
-        item = self._items.popleft()
+        """Dequeue the next item (oldest; for priority queues, oldest
+        of the most urgent class)."""
+        item = self._take()
         if self._hook is not None:
             self._hook("pop", self)
         return item
 
     def peek(self) -> T:
-        """Oldest item without dequeuing."""
-        return self._items[0]
+        """Next item without dequeuing."""
+        return self._peek_next()
 
     @property
     def full(self) -> bool:
         """True when at capacity."""
-        return len(self._items) >= self._capacity
+        return self._size() >= self._capacity
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size()
 
     def __bool__(self) -> bool:
-        return bool(self._items)
+        return self._size() > 0
 
     def __iter__(self) -> Iterator[T]:
-        return iter(self._items)
+        return self._iter_items()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"BoundedQueue({len(self._items)}/{self._capacity}, "
+            f"{type(self).__name__}({self._size()}/{self._capacity}, "
             f"lost={self._lost})"
         )
+
+
+class PriorityBoundedQueue(BoundedQueue[T]):
+    """Bounded queue with priority classes and optional preemption.
+
+    Items are assigned a class in ``[0, classes)`` by ``priority_of``
+    (lower class number = more urgent); :meth:`pop` serves the oldest
+    item of the most urgent non-empty class, and order *within* a class
+    is strictly FIFO.  Capacity, loss accounting, ``high_water``,
+    ``reset_stats`` and drop-event instrumentation behave exactly as in
+    :class:`BoundedQueue`; the published
+    :class:`~repro.obs.events.QueueItemDropped` additionally carries
+    the rejected item's class, and :attr:`lost_by_class` /
+    :attr:`accepted_by_class` break the counters down per class.
+
+    With ``evict_lower=True`` an arrival into a full queue may preempt:
+    the *newest* item of the least urgent class less urgent than the
+    arrival is evicted (counted as a loss of the evicted item's class)
+    and the arrival admitted.  An arrival that is not more urgent than
+    everything's tail is rejected as usual — total occupancy never
+    exceeds ``capacity``.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        classes: int = 3,
+        priority_of: Optional[Callable[[T], int]] = None,
+        evict_lower: bool = False,
+        hook: Optional[QueueHook] = None,
+    ) -> None:
+        if classes < 1:
+            raise ValueError(f"classes must be >= 1, got {classes}")
+        super().__init__(capacity, hook)
+        self._classes = classes
+        self._priority_of = priority_of
+        self._evict_lower = evict_lower
+        self._lanes: List[Deque[T]] = [deque() for _ in range(classes)]
+        self._lost_by_class = [0] * classes
+        self._accepted_by_class = [0] * classes
+
+    # -- storage primitives ------------------------------------------------
+
+    def _size(self) -> int:
+        return sum(len(lane) for lane in self._lanes)
+
+    def _class_of(self, item: T) -> int:
+        cls = self._priority_of(item) if self._priority_of else 0
+        if not 0 <= cls < self._classes:
+            raise ValueError(
+                f"priority class {cls} outside [0, {self._classes})"
+            )
+        return cls
+
+    def _store(self, item: T) -> None:
+        cls = self._class_of(item)
+        self._lanes[cls].append(item)
+        self._accepted_by_class[cls] += 1
+
+    def _take(self) -> T:
+        for lane in self._lanes:
+            if lane:
+                return lane.popleft()
+        raise IndexError("pop from an empty PriorityBoundedQueue")
+
+    def _peek_next(self) -> T:
+        for lane in self._lanes:
+            if lane:
+                return lane[0]
+        raise IndexError("peek at an empty PriorityBoundedQueue")
+
+    def _iter_items(self) -> Iterator[T]:
+        """Items in drain order: class by class, FIFO within a class."""
+        for lane in self._lanes:
+            for item in lane:
+                yield item
+
+    def _make_room(self, item: T) -> bool:
+        """Preempt the newest least-urgent item when allowed."""
+        if not self._evict_lower:
+            return False
+        cls = self._class_of(item)
+        for victim_cls in range(self._classes - 1, cls, -1):
+            lane = self._lanes[victim_cls]
+            if lane:
+                victim = lane.pop()  # newest of the class: least regret
+                self._note_lost(victim)
+                return True
+        return False
+
+    # -- per-class stats ---------------------------------------------------
+
+    @property
+    def classes(self) -> int:
+        """Number of priority classes."""
+        return self._classes
+
+    @property
+    def lost_by_class(self) -> Tuple[int, ...]:
+        """Losses (rejections + evictions) broken down by class."""
+        return tuple(self._lost_by_class)
+
+    @property
+    def accepted_by_class(self) -> Tuple[int, ...]:
+        """Accepted items broken down by class."""
+        return tuple(self._accepted_by_class)
+
+    def depth_of_class(self, cls: int) -> int:
+        """Current occupancy of one class's lane."""
+        return len(self._lanes[cls])
+
+    def _note_lost(self, item: T) -> None:
+        self._lost_by_class[self._class_of(item)] += 1
+        super()._note_lost(item)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (including the per-class breakdowns) and
+        re-base the high-water mark, exactly like the base queue."""
+        super().reset_stats()
+        self._lost_by_class = [0] * self._classes
+        self._accepted_by_class = [0] * self._classes

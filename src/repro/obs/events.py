@@ -12,6 +12,7 @@ check per site.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
 
@@ -255,12 +256,17 @@ class QueueItemDropped(ObsEvent):
     that bypass the system-level instrumentation.  ``queue`` names
     which queue dropped (``"alert"`` / ``"recovery"``), ``depth`` its
     occupancy at rejection time, ``lost_total`` the queue's lifetime
-    loss counter after this drop.
+    loss counter after this drop.  ``priority`` is the rejected item's
+    priority class when the queue is a
+    :class:`~repro.ids.alerts.PriorityBoundedQueue` (0 for the plain
+    FIFO queue, whose only class is 0) — old flight logs without the
+    field replay with the default.
     """
 
     queue: str
     depth: int
     lost_total: int
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -344,12 +350,22 @@ class EventBus:
     :meth:`publish` dispatches in subscription order.  With no
     subscribers the bus is inert and :attr:`active` is ``False`` —
     instrumented code uses that to skip building expensive events.
+
+    Subscription bookkeeping is lock-protected so a bus can be shared
+    across fleet workers.  ``publish`` snapshots the handler lists
+    under the lock but dispatches *outside* it: handlers are allowed to
+    publish re-entrantly (the health monitor republishes SLO verdicts
+    onto the same bus mid-dispatch) and to (un)subscribe, neither of
+    which may deadlock.  Handlers themselves must be thread-safe when
+    the bus is shared; dispatch order within one ``publish`` call stays
+    subscription order.
     """
 
     def __init__(self) -> None:
         self._all: List[Handler] = []
         self._typed: Dict[Type[ObsEvent], List[Handler]] = {}
         self._count = 0
+        self._lock = threading.Lock()
 
     @property
     def active(self) -> bool:
@@ -363,35 +379,43 @@ class EventBus:
     ) -> Handler:
         """Register ``handler`` for all events (or only for ``types``);
         returns the handler for symmetry with :meth:`unsubscribe`."""
-        if types is None:
-            self._all.append(handler)
-        else:
-            for t in types:
-                self._typed.setdefault(t, []).append(handler)
-        self._count += 1
+        with self._lock:
+            if types is None:
+                self._all = self._all + [handler]
+            else:
+                typed = dict(self._typed)
+                for t in types:
+                    typed[t] = typed.get(t, []) + [handler]
+                self._typed = typed
+            self._count += 1
         return handler
 
     def unsubscribe(self, handler: Handler) -> None:
         """Remove every registration of ``handler`` (no-op if absent)."""
-        removed = 0
-        if handler in self._all:
-            self._all = [h for h in self._all if h is not handler]
-            removed += 1
-        for t, handlers in list(self._typed.items()):
-            if handler in handlers:
-                self._typed[t] = [h for h in handlers if h is not handler]
+        with self._lock:
+            removed = 0
+            if handler in self._all:
+                self._all = [h for h in self._all if h is not handler]
                 removed += 1
-                if not self._typed[t]:
-                    del self._typed[t]
-        self._count = max(0, self._count - removed)
+            typed = dict(self._typed)
+            for t, handlers in list(typed.items()):
+                if handler in handlers:
+                    typed[t] = [h for h in handlers if h is not handler]
+                    removed += 1
+                    if not typed[t]:
+                        del typed[t]
+            self._typed = typed
+            self._count = max(0, self._count - removed)
 
     def publish(self, event: ObsEvent) -> None:
         """Dispatch ``event`` to every matching handler, in order."""
         if self._count == 0:
             return
-        for handler in self._all:
+        with self._lock:
+            all_handlers = self._all
+            typed = self._typed.get(type(event))
+        for handler in all_handlers:
             handler(event)
-        typed = self._typed.get(type(event))
         if typed:
             for handler in typed:
                 handler(event)

@@ -78,6 +78,7 @@ __all__ = [
     "merge_conformance",
     "replay_verdicts",
     "wilson_interval",
+    "worst_state",
 ]
 
 
@@ -101,6 +102,16 @@ def _worst(states: Sequence[SloState]) -> SloState:
         if _SEVERITY[s] > _SEVERITY[worst]:
             worst = s
     return worst
+
+
+def worst_state(states: Sequence[SloState]) -> SloState:
+    """Max-severity fold of SLO states (OK < WARN < BREACH).
+
+    The associative, commutative rollup the fleet ``/slo`` view uses
+    to aggregate per-tenant verdicts — any grouping or ordering of
+    tenants yields the same fleet verdict.
+    """
+    return _worst(states)
 
 
 def wilson_interval(

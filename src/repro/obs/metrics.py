@@ -16,6 +16,7 @@ typed event stream of :mod:`repro.obs.events`.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -67,7 +68,16 @@ def _labels_key(labels: LabelsArg) -> LabelsKey:
 
 
 class _Metric:
-    """Common identity of every instrument."""
+    """Common identity of every instrument.
+
+    Every instrument carries its own :class:`threading.Lock`; all
+    mutating operations (and the compound read-modify-write ones in
+    particular, such as :meth:`Gauge.inc`) hold it, so instruments can
+    be shared across the fleet worker pool without losing updates.
+    Single-field reads stay lock-free — on CPython a ``float`` load is
+    atomic, and cross-field consistency is only needed by renderers
+    that already run after the writers quiesce.
+    """
 
     kind = "untyped"
 
@@ -75,6 +85,7 @@ class _Metric:
         self.name = name
         self.labels = labels
         self.help = help
+        self._lock = threading.Lock()
 
     @property
     def label_str(self) -> str:
@@ -104,11 +115,13 @@ class Counter(_Metric):
         """Add ``amount`` (must be >= 0)."""
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def reset(self) -> None:
         """Zero the counter."""
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
 
 
 class Gauge(_Metric):
@@ -132,24 +145,31 @@ class Gauge(_Metric):
         """Maximum level seen since creation / last reset."""
         return self._high_water
 
-    def set(self, value: float) -> None:
-        """Set the level (updates the high-water mark)."""
+    def _set_locked(self, value: float) -> None:
         self._value = float(value)
         if self._value > self._high_water:
             self._high_water = self._value
 
+    def set(self, value: float) -> None:
+        """Set the level (updates the high-water mark)."""
+        with self._lock:
+            self._set_locked(value)
+
     def inc(self, amount: float = 1.0) -> None:
-        """Adjust the level by ``amount``."""
-        self.set(self._value + amount)
+        """Adjust the level by ``amount`` (atomic read-modify-write)."""
+        with self._lock:
+            self._set_locked(self._value + amount)
 
     def dec(self, amount: float = 1.0) -> None:
-        """Adjust the level by ``-amount``."""
-        self.set(self._value - amount)
+        """Adjust the level by ``-amount`` (atomic read-modify-write)."""
+        with self._lock:
+            self._set_locked(self._value - amount)
 
     def reset(self) -> None:
         """Zero the level and re-base the high-water mark."""
-        self._value = 0.0
-        self._high_water = 0.0
+        with self._lock:
+            self._value = 0.0
+            self._high_water = 0.0
 
 
 class Histogram(_Metric):
@@ -202,15 +222,17 @@ class Histogram(_Metric):
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self._counts[bisect_left(self.bounds, value)] += 1
-        self._sum += value
-        self._count += 1
+        with self._lock:
+            self._counts[bisect_left(self.bounds, value)] += 1
+            self._sum += value
+            self._count += 1
 
     def reset(self) -> None:
         """Drop every observation."""
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._sum = 0.0
-        self._count = 0
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
 
 
 class MetricsRegistry:
@@ -220,25 +242,33 @@ class MetricsRegistry:
     existing pair returns the same object (so instrumentation sites can
     be stateless).  Re-requesting a name with a different instrument
     kind is an error.
+
+    Get-or-create is guarded by a registry lock: two threads racing to
+    create the same ``(name, labels)`` pair receive the *same*
+    instrument (the unguarded check-then-insert would let one thread's
+    instrument — and every update made through it — be silently
+    replaced).
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelsKey], _Metric] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, cls, name: str, labels: LabelsArg,
                        help: str, **kwargs) -> _Metric:
         key = (name, _labels_key(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {cls.kind}"
-                )
-            return existing
-        metric = cls(name, labels=key[1], help=help, **kwargs)
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, labels=key[1], help=help, **kwargs)
+            self._metrics[key] = metric
+            return metric
 
     def counter(self, name: str, labels: LabelsArg = None,
                 help: str = "") -> Counter:
@@ -263,19 +293,24 @@ class MetricsRegistry:
 
     def metrics(self) -> List[_Metric]:
         """Every instrument, sorted by ``(name, labels)``."""
-        return [self._metrics[k] for k in sorted(self._metrics)]
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
 
     def get(self, name: str, labels: LabelsArg = None) -> Optional[_Metric]:
         """Look up an instrument; ``None`` when absent."""
-        return self._metrics.get((name, _labels_key(labels)))
+        with self._lock:
+            return self._metrics.get((name, _labels_key(labels)))
 
     def reset(self) -> None:
         """Reset every instrument in place."""
-        for metric in self._metrics.values():
+        with self._lock:
+            instruments = list(self._metrics.values())
+        for metric in instruments:
             metric.reset()  # type: ignore[attr-defined]
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
 
 class PipelineMetrics:

@@ -15,6 +15,15 @@ of a run, with zero dependencies beyond the standard library:
 - ``GET /slo``      — the full JSON health summary (verdicts, windowed
   estimates, drift alarms, model predictions).
 
+In **fleet mode** (``fleet=`` a
+:class:`~repro.fleet.control.FleetControlPlane`, or anything with its
+``health()`` / ``shard_by_tenant()`` shape) the same routes serve the
+whole fleet: ``/healthz`` probes the *worst-of* rollup (``503`` when
+any tenant breaches), ``/slo`` returns the fleet rollup — tenant
+counts per state, merged conformance, latency percentiles, the worst
+tenants — and ``/slo?tenant=t0042`` drills down into one tenant's full
+single-system summary.
+
 The server binds ``127.0.0.1`` by default and accepts port ``0`` for
 an ephemeral port (the bound port is on :attr:`port` after
 :meth:`start` — how the CI smoke test avoids collisions).  Handlers
@@ -29,8 +38,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl
 
-from repro.errors import ObsError
+from repro.errors import FleetError, ObsError
 from repro.obs.health import HealthMonitor, SloState
 from repro.obs.metrics import MetricsRegistry
 
@@ -63,7 +73,8 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         owner = self.server.owner
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
+        params = dict(parse_qsl(query))
         with owner.lock:
             if path == "/metrics":
                 status, body = owner.render_metrics()
@@ -73,7 +84,9 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 status, payload = owner.render_healthz()
                 self._send_json(status, payload)
             elif path == "/slo":
-                status, payload = owner.render_slo()
+                status, payload = owner.render_slo(
+                    tenant=params.get("tenant")
+                )
                 self._send_json(status, payload)
             else:
                 self._send_json(404, {
@@ -101,6 +114,13 @@ class TelemetryServer:
         The :class:`HealthMonitor` behind ``/healthz`` and ``/slo``
         (``None`` makes ``/healthz`` report ``ok`` — nothing monitored
         is nothing breached — and ``/slo`` return 404).
+    fleet:
+        Optional fleet source — a
+        :class:`~repro.fleet.control.FleetControlPlane` or any object
+        with ``health() -> FleetHealth`` and
+        ``shard_by_tenant(id) -> TenantShard``.  When set, ``/healthz``
+        and ``/slo`` serve the fleet rollup (and ``?tenant=`` drills
+        down) instead of the single ``monitor``.
     host, port:
         Bind address; port ``0`` asks the OS for an ephemeral port.
     """
@@ -111,9 +131,11 @@ class TelemetryServer:
         monitor: Optional[HealthMonitor] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        fleet: Optional[Any] = None,
     ) -> None:
         self.registry = registry
         self.monitor = monitor
+        self.fleet = fleet
         self._host = host
         self._requested_port = int(port)
         self._httpd: Optional[_TelemetryHTTPServer] = None
@@ -197,7 +219,23 @@ class TelemetryServer:
         return (200, render_prometheus(self.registry))
 
     def render_healthz(self) -> Tuple[int, Dict[str, Any]]:
-        """Status + JSON for ``/healthz``: 503 exactly on BREACH."""
+        """Status + JSON for ``/healthz``: 503 exactly on BREACH.
+
+        In fleet mode the probed verdict is the fleet's worst-of
+        rollup — one breached tenant fails the whole probe, which is
+        what a load balancer fronting the shared control plane needs.
+        """
+        if self.fleet is not None:
+            health = self.fleet.health()
+            verdict = health.verdict
+            status = 503 if verdict is SloState.BREACH else 200
+            return (status, {
+                "status": verdict.value.lower(),
+                "monitored": True,
+                "fleet": True,
+                "tenants": len(health.tenants),
+                "by_state": health.by_state,
+            })
         if self.monitor is None:
             return (200, {"status": "ok", "monitored": False})
         verdict = self.monitor.verdict
@@ -209,8 +247,27 @@ class TelemetryServer:
             "drifts": len(self.monitor.drifts),
         })
 
-    def render_slo(self) -> Tuple[int, Dict[str, Any]]:
-        """Status + JSON for ``/slo``: the full health summary."""
+    def render_slo(
+        self, tenant: Optional[str] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Status + JSON for ``/slo``: the full health summary.
+
+        Fleet mode serves the rollup; ``tenant=`` drills down into one
+        tenant's single-system summary (404 on an unknown id).
+        """
+        if self.fleet is not None:
+            if tenant is not None:
+                try:
+                    shard = self.fleet.shard_by_tenant(tenant)
+                except FleetError as exc:
+                    return (404, {"error": str(exc)})
+                payload = shard.monitor.summary()
+                payload["tenant"] = shard.tenant
+                payload["profile"] = shard.profile.name
+                return (200, payload)
+            return (200, self.fleet.health().as_dict())
+        if tenant is not None:
+            return (404, {"error": "tenant drill-down requires a fleet"})
         if self.monitor is None:
             return (404, {"error": "no health monitor attached"})
         return (200, self.monitor.summary())

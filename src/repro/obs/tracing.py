@@ -98,6 +98,15 @@ class Tracer:
     Spans opened while another span is open become its children; spans
     opened at top level become roots.  The usual shape is one root per
     incident.
+
+    **Single-owner contract**: a tracer's span stack encodes the call
+    nesting of *one* logical thread of execution, so — unlike the
+    lock-protected :class:`~repro.obs.metrics.MetricsRegistry` and
+    :class:`~repro.obs.events.EventBus` — a tracer must not be shared
+    across threads (interleaved ``start_span``/``end_span`` from two
+    threads would raise nesting errors or, worse, build a wrong tree).
+    Concurrent code creates one tracer per worker/shard; the fleet
+    control plane keeps tracing per-shard for exactly this reason.
     """
 
     def __init__(self, clock: Optional[Clock] = None) -> None:

@@ -36,6 +36,7 @@ from enum import Enum
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.analyzer import RecoveryAnalyzer
+from repro.core.epochs import EpochManager
 from repro.core.healer import HealReport, Healer
 from repro.core.plan import RecoveryPlan
 from repro.core.strategies import RecoveryStrategy
@@ -72,7 +73,12 @@ class SelfHealingSystem:
     Parameters
     ----------
     store, log, specs_by_instance:
-        The workflow system being protected.
+        The workflow system being protected.  Alternatively pass
+        ``manager`` (an :class:`~repro.core.epochs.EpochManager`) and
+        leave these ``None``: the system then protects whatever the
+        manager currently holds, heals through ``manager.heal`` (which
+        rolls the epoch), and keeps working across attack waves — the
+        mode the fleet control plane runs every tenant in.
     alert_buffer:
         Capacity of the IDS-alert queue.
     recovery_buffer:
@@ -104,19 +110,34 @@ class SelfHealingSystem:
 
     def __init__(
         self,
-        store: DataStore,
-        log: SystemLog,
-        specs_by_instance: Mapping[str, WorkflowSpec],
+        store: Optional[DataStore] = None,
+        log: Optional[SystemLog] = None,
+        specs_by_instance: Optional[Mapping[str, WorkflowSpec]] = None,
         alert_buffer: int = 15,
         recovery_buffer: int = 15,
         strategy: RecoveryStrategy = RecoveryStrategy.STRICT,
         bus: Optional[EventBus] = None,
         clock: Optional[Callable[[], float]] = None,
         verify: bool = False,
+        manager: Optional[EpochManager] = None,
     ) -> None:
+        if manager is not None:
+            if (store is not None or log is not None
+                    or specs_by_instance is not None):
+                raise ValueError(
+                    "pass either manager= or store/log/specs_by_instance, "
+                    "not both"
+                )
+        elif store is None or log is None or specs_by_instance is None:
+            raise ValueError(
+                "store, log and specs_by_instance are required without "
+                "a manager"
+            )
+        self._manager = manager
         self._store = store
         self._log = log
-        self._specs = dict(specs_by_instance)
+        self._specs = (dict(specs_by_instance)
+                       if specs_by_instance is not None else None)
         self._alerts: BoundedQueue[Alert] = BoundedQueue(alert_buffer)
         self._plans: BoundedQueue[RecoveryPlan] = BoundedQueue(recovery_buffer)
         self._strategy = strategy
@@ -127,11 +148,39 @@ class SelfHealingSystem:
         # never reach the system-level AlertLost instrumentation.
         self._alerts.instrument("alert", bus, self._clock)
         self._plans.instrument("recovery", bus, self._clock)
-        self._analyzer = RecoveryAnalyzer(log, self._specs, bus=bus,
-                                          clock=self._clock)
+        # In manager mode the log and spec set roll with every heal, so
+        # the analyzer is rebuilt per scan (its constructor is cheap —
+        # dependency analysis is lazy); standalone mode keeps one.
+        self._analyzer = (
+            None if manager is not None
+            else RecoveryAnalyzer(log, self._specs, bus=bus,
+                                  clock=self._clock)
+        )
         self._verify = verify
         self._heals: List[HealReport] = []
         self._last_state = self.state
+
+    # -- the protected world (epoch-aware in manager mode) ------------------
+
+    @property
+    def manager(self) -> Optional[EpochManager]:
+        """The epoch manager, when running in manager mode."""
+        return self._manager
+
+    def _current_log(self) -> SystemLog:
+        if self._manager is not None:
+            return self._manager.log
+        return self._log  # type: ignore[return-value]
+
+    def _current_specs(self) -> Dict[str, WorkflowSpec]:
+        if self._manager is not None:
+            return self._manager.specs_by_instance
+        return self._specs  # type: ignore[return-value]
+
+    def _current_store(self) -> DataStore:
+        if self._manager is not None:
+            return self._manager.store
+        return self._store  # type: ignore[return-value]
 
     # -- observable state ---------------------------------------------------
 
@@ -217,7 +266,13 @@ class SelfHealingSystem:
         if not self._alerts or self._plans.full:
             return None
         alert = self._alerts.pop()
-        plan = self._analyzer.analyze(
+        analyzer = self._analyzer
+        if analyzer is None:  # manager mode: bind the current epoch
+            analyzer = RecoveryAnalyzer(
+                self._manager.log, self._manager.specs_by_instance,
+                bus=self._bus, clock=self._clock,
+            )
+        plan = analyzer.analyze(
             [alert], outstanding=list(self._plans)
         )
         if self._verify:
@@ -240,7 +295,8 @@ class SelfHealingSystem:
         """
         from repro.lint.plan_verifier import verify_plan
 
-        findings = verify_plan(self._log, self._specs, plan)
+        findings = verify_plan(self._current_log(), self._current_specs(),
+                               plan)
         if findings:
             detail = "; ".join(
                 f"{d.rule}: {d.message}" for d in findings[:3]
@@ -250,13 +306,21 @@ class SelfHealingSystem:
                 f"{len(findings)} finding(s) — {detail}"
             )
 
-    def recovery_step(self) -> Optional[HealReport]:
+    def recovery_step(
+        self, extra_uids: Tuple[str, ...] = ()
+    ) -> Optional[HealReport]:
         """Execute the queued recovery units (RECOVERY state only).
 
         All queued units are executed as one batch heal — recovery can
         only run once the alert queue is empty, and a batch is exactly
         the paper's "all damages of the system are identified" point.
         Returns the heal report, or ``None`` outside RECOVERY.
+
+        ``extra_uids`` are out-of-band administrator reports (Section
+        IV-D: alerts lost to a full queue are ultimately reported by
+        the administrator) folded into this batch — essential in
+        manager mode, where the epoch rolls at the commit and uids of
+        the just-archived epoch would be unreachable afterwards.
         """
         if self.state is not SystemState.RECOVERY:
             return None
@@ -266,14 +330,21 @@ class SelfHealingSystem:
             plan = self._plans.pop()
             plans.append(plan)
             uids.extend(plan.alert_uids)
+        uids.extend(extra_uids)
         observed = self._bus is not None and self._bus.active
         started = self._clock() if observed else 0.0
         if observed:
             self._bus.publish(HealStarted(started, malicious=tuple(uids)))
             self._publish_schedule(plans)
-        healer = Healer(self._store, self._log, self._specs,
-                        bus=self._bus, clock=self._clock)
-        report = healer.heal(uids)
+        if self._manager is not None:
+            # The manager heals against its epoch baseline and rolls the
+            # epoch, so the system keeps protecting the post-heal world.
+            report = self._manager.heal(uids, bus=self._bus,
+                                        clock=self._clock)
+        else:
+            healer = Healer(self._store, self._log, self._specs,
+                            bus=self._bus, clock=self._clock)
+            report = healer.heal(uids)
         self._heals.append(report)
         if observed:
             now = self._clock()

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.errors import QueueFullError
-from repro.ids.alerts import Alert, BoundedQueue
+from repro.ids.alerts import Alert, BoundedQueue, PriorityBoundedQueue
+from repro.obs.events import EventBus, QueueItemDropped
+from repro.obs.tracing import ManualClock
 
 
 class TestAlert:
@@ -109,3 +111,141 @@ class TestBoundedQueue:
         q.set_hook(None)
         q.offer("b")
         assert calls == ["offer"]
+
+
+def by_digit(item):
+    """Priority class of a test item like ``"2:x"`` → 2."""
+    return int(item.split(":")[0])
+
+
+class TestPriorityBoundedQueue:
+    def make(self, capacity=4, classes=3, **kwargs):
+        return PriorityBoundedQueue(capacity, classes=classes,
+                                    priority_of=by_digit, **kwargs)
+
+    def test_pop_serves_most_urgent_class_first(self):
+        q = self.make()
+        for item in ["2:a", "0:b", "1:c", "0:d"]:
+            assert q.offer(item)
+        assert [q.pop() for _ in range(4)] == ["0:b", "0:d", "1:c", "2:a"]
+
+    def test_fifo_within_class(self):
+        q = self.make(capacity=6)
+        for item in ["1:a", "1:b", "1:c"]:
+            q.offer(item)
+        assert q.pop() == "1:a"
+        q.offer("1:d")
+        assert [q.pop(), q.pop(), q.pop()] == ["1:b", "1:c", "1:d"]
+
+    def test_single_class_degenerates_to_fifo(self):
+        q = PriorityBoundedQueue(3, classes=1)
+        for x in "abc":
+            q.offer(x)
+        assert [q.pop(), q.pop(), q.pop()] == ["a", "b", "c"]
+
+    def test_iteration_is_drain_order(self):
+        q = self.make()
+        for item in ["2:a", "0:b", "1:c"]:
+            q.offer(item)
+        assert list(q) == ["0:b", "1:c", "2:a"]
+        assert q.peek() == "0:b"
+
+    def test_offer_without_eviction_rejects_when_full(self):
+        q = self.make(capacity=2)
+        q.offer("2:a")
+        q.offer("2:b")
+        assert not q.offer("0:urgent")  # evict_lower off: plain reject
+        assert q.lost == 1
+        assert q.lost_by_class == (1, 0, 0)
+        assert len(q) == 2
+
+    def test_eviction_preempts_newest_least_urgent(self):
+        q = self.make(capacity=3, evict_lower=True)
+        for item in ["2:a", "2:b", "1:c"]:
+            q.offer(item)
+        assert q.offer("0:urgent")           # evicts 2:b (newest of 2)
+        assert len(q) == 3
+        assert list(q) == ["0:urgent", "1:c", "2:a"]
+        assert q.lost == 1                   # the eviction is a loss...
+        assert q.lost_by_class == (0, 0, 1)  # ...of the victim's class
+
+    def test_eviction_refused_when_nothing_less_urgent(self):
+        q = self.make(capacity=2, evict_lower=True)
+        q.offer("0:a")
+        q.offer("1:b")
+        assert not q.offer("1:c")  # class 1 cannot evict class 1
+        assert q.lost_by_class == (0, 1, 0)
+        assert list(q) == ["0:a", "1:b"]
+
+    def test_push_never_evicts(self):
+        q = self.make(capacity=1, evict_lower=True)
+        q.push("2:a")
+        with pytest.raises(QueueFullError):
+            q.push("0:b")
+        assert q.lost == 0 and list(q) == ["2:a"]
+
+    def test_high_water_and_accepted_preserved(self):
+        q = self.make(capacity=3)
+        for item in ["0:a", "1:b", "2:c"]:
+            q.offer(item)
+        q.pop()
+        assert q.high_water == 3
+        assert q.accepted == 3
+        assert q.accepted_by_class == (1, 1, 1)
+        assert q.depth_of_class(1) == 1
+
+    def test_reset_stats_clears_per_class_breakdown(self):
+        q = self.make(capacity=2)
+        q.offer("0:a")
+        q.offer("1:b")
+        q.offer("2:c")  # lost
+        q.reset_stats()
+        assert q.lost == 0 and q.accepted == 0
+        assert q.lost_by_class == (0, 0, 0)
+        assert q.accepted_by_class == (0, 0, 0)
+        assert q.high_water == len(q) == 2  # re-based like the base queue
+
+    def test_drop_accounting_under_mixed_priorities(self):
+        q = self.make(capacity=2, evict_lower=True)
+        q.offer("2:a")
+        q.offer("2:b")
+        q.offer("1:c")       # evicts 2:b
+        q.offer("1:d")       # evicts 2:a
+        assert not q.offer("1:e")  # no class-2 victims left: rejected
+        assert q.lost == 3
+        assert q.lost_by_class == (0, 1, 2)
+        assert q.accepted == 4
+        assert sum(q.lost_by_class) == q.lost
+
+    def test_drop_events_carry_priority_class(self):
+        bus = EventBus()
+        drops = []
+        bus.subscribe(drops.append, types=[QueueItemDropped])
+        clock = ManualClock(5.0)
+        q = self.make(capacity=2, evict_lower=True)
+        q.instrument("central", bus, clock)
+        q.offer("2:a")
+        q.offer("2:b")
+        q.offer("0:urgent")  # evicts 2:b -> drop event with class 2
+        q.offer("2:late")    # rejected  -> drop event with class 2
+        q.offer("1:mid")     # evicts 2:a -> drop event with class 2
+        assert [d.priority for d in drops] == [2, 2, 2]
+        assert [d.queue for d in drops] == ["central"] * 3
+        assert drops[-1].lost_total == 3 == q.lost
+
+    def test_hook_sees_eviction_as_lost(self):
+        calls = []
+        q = self.make(capacity=1, evict_lower=True,
+                      hook=lambda op, queue: calls.append(op))
+        q.offer("2:a")
+        q.offer("0:b")  # evicts 2:a: lost + offer
+        assert calls == ["offer", "lost", "offer"]
+
+    def test_priority_class_out_of_range_raises(self):
+        q = PriorityBoundedQueue(2, classes=2, priority_of=by_digit)
+        with pytest.raises(ValueError):
+            q.offer("5:x")
+
+    def test_classes_validation(self):
+        with pytest.raises(ValueError):
+            PriorityBoundedQueue(2, classes=0)

@@ -451,3 +451,51 @@ class TestLint:
         code = main(["lint", "spec", str(tmp_path / "nope.json")])
         assert code != 0
         assert capsys.readouterr().err
+
+
+class TestFleet:
+    def test_calibrated_fleet_exits_zero(self, capsys):
+        assert main(["fleet", "--tenants", "4", "--duration", "25",
+                     "--workers", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out and "OK" in out
+        assert "audits strictly correct" in out
+        assert "detect->heal p50" in out
+
+    def test_unknown_archetype_exits_three(self, capsys):
+        from repro.cli import EXIT_DOMAIN_ERROR
+
+        code = main(["fleet", "--mix", "banking", "nonsense"])
+        err = capsys.readouterr().err
+        assert code == EXIT_DOMAIN_ERROR == 3
+        assert err.startswith("error:")
+        assert "unknown workload archetype" in err
+        assert "Traceback" not in err
+
+    def test_invalid_tenant_count_exits_two(self, capsys):
+        # argparse owns plain type errors: exit 2, not 3
+        with pytest.raises(SystemExit) as exc:
+            main(["fleet", "--tenants", "0"])
+        assert exc.value.code == 2
+
+    def test_worker_count_does_not_change_the_report(self, capsys):
+        assert main(["fleet", "--tenants", "3", "--duration", "20",
+                     "--seed", "5"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fleet", "--tenants", "3", "--duration", "20",
+                     "--seed", "5", "--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        strip = lambda text: [line for line in text.splitlines()
+                              if "worker(s)" not in line]
+        assert strip(parallel) == strip(serial)
+
+    def test_breached_fleet_exits_one(self, capsys):
+        # one grant per 20-time-unit round starves the tenant queue:
+        # alerts overflow, the loss SLO breaches, exit goes to 1
+        code = main(["fleet", "--tenants", "1", "--mix", "banking",
+                     "--duration", "200", "--tick", "20",
+                     "--central-capacity", "1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "BREACH" in out
+        assert "Worst tenants" in out

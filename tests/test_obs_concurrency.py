@@ -1,0 +1,169 @@
+"""Concurrent-hammer tests for the obs layer's thread-safety contract.
+
+The fleet control plane (:mod:`repro.fleet`) shares one
+``MetricsRegistry`` and one ``EventBus`` across a worker pool; these
+tests pin the exact-totals guarantees that sharing requires.  The
+hammers target the genuinely racy paths of the pre-lock code —
+compound read-modify-write operations that span a Python call
+(``Gauge.inc`` → ``set``) and the registry's check-then-insert
+get-or-create — and fail on that code reliably (``Gauge.inc`` loses
+more than half its updates under a 1 µs switch interval).
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.obs.events import AlertEnqueued, EventBus, ScanStep
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+
+
+@pytest.fixture(autouse=True)
+def tight_switch_interval():
+    """Shrink the GIL switch interval so races surface quickly."""
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(old)
+
+
+def hammer(worker, threads=THREADS):
+    """Run ``worker(tid)`` on ``threads`` threads, barrier-started so
+    every thread enters the contended section together; re-raise the
+    first worker exception."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def run(tid):
+        barrier.wait()
+        try:
+            worker(tid)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    ts = [threading.Thread(target=run, args=(i,)) for i in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestMetricsHammer:
+    def test_counter_inc_exact_under_contention(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hammer_total")
+        n = 20_000
+        hammer(lambda tid: [c.inc() for _ in range(n)])
+        assert c.value == THREADS * n
+
+    def test_gauge_inc_dec_exact_under_contention(self):
+        # Gauge.inc/dec read the level, then call set(): a preemption
+        # between read and write loses updates on unlocked code.
+        reg = MetricsRegistry()
+        g = reg.gauge("hammer_level")
+        n = 20_000
+
+        def work(tid):
+            for _ in range(n):
+                g.inc()
+            for _ in range(n // 2):
+                g.dec()
+
+        hammer(work)
+        assert g.value == THREADS * (n - n // 2)
+        assert g.high_water <= THREADS * n
+
+    def test_histogram_observe_exact_under_contention(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("hammer_hist", buckets=(0.5, 1.5, 2.5))
+        n = 20_000
+        hammer(lambda tid: [h.observe(tid % 3) for _ in range(n)])
+        assert h.count == THREADS * n
+        assert sum(h.bucket_counts) == THREADS * n
+        assert h.sum == sum(tid % 3 for tid in range(THREADS)) * n
+
+    def test_registry_get_or_create_returns_one_instrument(self):
+        # Unlocked check-then-insert lets two threads build distinct
+        # instruments for the same fresh key; one is silently replaced
+        # and its increments vanish.  Every thread must see the same
+        # object for the same (name, labels) pair.
+        reg = MetricsRegistry()
+        rounds = 400
+        gate = threading.Barrier(THREADS)
+        seen = [[] for _ in range(THREADS)]
+
+        def work(tid):
+            for k in range(rounds):
+                gate.wait()
+                c = reg.counter("fresh", labels={"k": str(k)})
+                c.inc()
+                seen[tid].append(id(c))
+
+        hammer(work)
+        for k in range(rounds):
+            assert len({seen[tid][k] for tid in range(THREADS)}) == 1, (
+                f"round {k}: threads received distinct instruments"
+            )
+        total = sum(m.value for m in reg.metrics())
+        assert total == THREADS * rounds
+
+
+class TestEventBusHammer:
+    def test_subscribe_unsubscribe_balanced_count(self):
+        bus = EventBus()
+        n = 2_000
+
+        def work(tid):
+            for _ in range(n):
+                h = bus.subscribe(lambda event: None)
+                bus.unsubscribe(h)
+
+        hammer(work)
+        assert not bus.active
+
+    def test_publish_during_resubscription(self):
+        # Publishing must never crash or mis-dispatch while other
+        # threads churn the handler lists.
+        bus = EventBus()
+        reg = MetricsRegistry()
+        delivered = reg.counter("delivered")
+        bus.subscribe(lambda event: delivered.inc(),
+                      types=[AlertEnqueued])
+        n = 2_000
+
+        def work(tid):
+            if tid % 2 == 0:
+                for i in range(n):
+                    bus.publish(AlertEnqueued(float(i), uid="u",
+                                              queue_depth=1))
+            else:
+                for _ in range(n):
+                    h = bus.subscribe(lambda event: None,
+                                      types=[ScanStep])
+                    bus.unsubscribe(h)
+
+        hammer(work)
+        assert delivered.value == (THREADS // 2) * n
+
+    def test_reentrant_publish_from_handler(self):
+        # The health monitor republishes onto the bus mid-dispatch; the
+        # bus must not hold its lock while handlers run.
+        bus = EventBus()
+        seen = []
+
+        def republisher(event):
+            if isinstance(event, AlertEnqueued):
+                bus.publish(ScanStep(event.time, uid=event.uid,
+                                     outstanding_units=0, cost=1))
+
+        bus.subscribe(republisher)
+        bus.subscribe(lambda event: seen.append(event.kind))
+        bus.publish(AlertEnqueued(0.0, uid="u1", queue_depth=1))
+        assert seen == ["ScanStep", "AlertEnqueued"]

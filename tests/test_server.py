@@ -146,3 +146,96 @@ class TestMonitoredEndpoints:
             status, _, body = _get(server.url + "/healthz")
         assert status == 503
         assert json.loads(body)["status"] == "breach"
+
+
+@pytest.fixture(scope="module")
+def fleet_server():
+    """A server over a finished small fleet run, in fleet mode."""
+    from repro.fleet import FleetConfig, FleetControlPlane
+
+    plane = FleetControlPlane(
+        FleetConfig(tenants=4, duration=30.0, seed=3)
+    )
+    plane.run()
+    with TelemetryServer(registry=plane.registry, fleet=plane) as server:
+        yield server, plane
+
+
+class TestFleetEndpoints:
+    def test_healthz_probes_worst_of_rollup(self, fleet_server):
+        server, plane = fleet_server
+        status, _, body = _get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["fleet"] is True
+        assert payload["tenants"] == 4
+        assert payload["status"] == plane.health().verdict.value.lower()
+        assert sum(payload["by_state"].values()) == 4
+
+    def test_slo_serves_the_fleet_rollup(self, fleet_server):
+        server, plane = fleet_server
+        status, _, body = _get(server.url + "/slo")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["fleet"] is True
+        assert payload["tenants"] == 4
+        assert payload["verdict"] == plane.health().verdict.value
+        assert payload["latency"]["samples"] > 0
+        assert payload["latency"]["p50"] <= payload["latency"]["p99"]
+        assert len(payload["worst_tenants"]) == 4
+        assert payload["audits_ok"] is True
+
+    def test_slo_tenant_drilldown(self, fleet_server):
+        server, plane = fleet_server
+        tenant = plane.shards[0].tenant
+        status, _, body = _get(server.url + f"/slo?tenant={tenant}")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["tenant"] == tenant
+        assert payload["profile"] == plane.shards[0].profile.name
+        assert "slos" in payload and "rates" in payload
+
+    def test_unknown_tenant_is_404(self, fleet_server):
+        server, _ = fleet_server
+        status, _, body = _get(server.url + "/slo?tenant=zz")
+        assert status == 404
+        assert "unknown tenant" in json.loads(body)["error"]
+
+    def test_tenant_param_without_fleet_is_404(self):
+        with TelemetryServer() as server:
+            status, _, body = _get(server.url + "/slo?tenant=t0")
+        assert status == 404
+        assert "requires a fleet" in json.loads(body)["error"]
+
+    def test_fleet_breach_fails_the_probe(self):
+        import dataclasses
+
+        from repro.fleet import FleetConfig, FleetControlPlane
+        from repro.fleet.workload import PROFILES
+
+        hot = dataclasses.replace(
+            PROFILES["banking"], arrival_rate=3.0,
+            alert_buffer=3, recovery_buffer=3,
+        )
+        plane = FleetControlPlane(
+            FleetConfig(tenants=2, duration=30.0, seed=1,
+                        central_capacity=4),
+            profiles=[hot],
+        )
+        plane.run()
+        assert plane.health().verdict.value == "BREACH"
+        with TelemetryServer(fleet=plane) as server:
+            status, _, body = _get(server.url + "/healthz")
+            slo_status, _, slo_body = _get(server.url + "/slo")
+        assert status == 503
+        assert json.loads(body)["status"] == "breach"
+        assert slo_status == 200  # the verdict is payload, not status
+        assert json.loads(slo_body)["verdict"] == "BREACH"
+
+    def test_fleet_metrics_exposition(self, fleet_server):
+        server, _ = fleet_server
+        status, _, body = _get(server.url + "/metrics")
+        text = body.decode("utf-8")
+        assert status == 200
+        assert "repro_fleet_attacks_total" in text
+        assert "repro_fleet_detect_heal_latency" in text

@@ -121,3 +121,73 @@ class TestNoAlerts:
     def test_quiescence_trivial_when_normal(self):
         __, system = make_system()
         assert system.run_to_quiescence() is SystemState.NORMAL
+
+
+def _chain_spec():
+    from repro.workflow.spec import workflow
+
+    return (
+        workflow("w")
+        .task("a", reads=["x"], writes=["y"],
+              compute=lambda d: {"y": d["x"] + 1})
+        .task("b", reads=["y"], writes=["z"],
+              compute=lambda d: {"z": d["y"] * 2})
+        .chain("a", "b")
+        .build()
+    )
+
+
+class TestManagerMode:
+    def make_managed(self, **kwargs):
+        from repro.core.epochs import EpochManager
+        from repro.workflow.data import DataStore
+
+        initial = {"x": 1}
+        manager = EpochManager(DataStore(initial), initial)
+        return manager, SelfHealingSystem(manager=manager, **kwargs)
+
+    def test_manager_excludes_explicit_world(self):
+        from repro.core.epochs import EpochManager
+        from repro.workflow.data import DataStore
+        from repro.workflow.log import SystemLog
+
+        store = DataStore({})
+        manager = EpochManager(store, {})
+        with pytest.raises(ValueError):
+            SelfHealingSystem(store, SystemLog(), {}, manager=manager)
+
+    def test_world_required_without_manager(self):
+        with pytest.raises(ValueError):
+            SelfHealingSystem()
+
+    def test_heals_roll_epochs_across_attack_waves(self):
+        from repro.ids.attacks import AttackCampaign
+
+        manager, system = self.make_managed()
+        spec = _chain_spec()
+        for wave in range(3):
+            campaign = AttackCampaign()
+            campaign.corrupt_task("a", workflow_instance=f"v{wave}",
+                                  y=999)
+            manager.run_workflow_attacked(spec, campaign, f"v{wave}")
+            assert system.submit_alert(campaign.malicious_uids[0])
+            assert system.run_to_quiescence() is SystemState.NORMAL
+        assert manager.epoch == 3
+        assert len(system.heal_reports) == 3
+        assert manager.audit().ok
+        assert manager.store.read("z") == 4  # healed: (1 + 1) * 2
+
+    def test_verify_mode_checks_plans_against_current_epoch(self):
+        from repro.ids.attacks import AttackCampaign
+
+        manager, system = self.make_managed(verify=True)
+        spec = _chain_spec()
+        for wave in range(2):
+            campaign = AttackCampaign()
+            campaign.corrupt_task("a", workflow_instance=f"n{wave}",
+                                  y=777)
+            manager.run_workflow_attacked(spec, campaign, f"n{wave}")
+            system.submit_alert(campaign.malicious_uids[0])
+            system.run_to_quiescence()
+        assert manager.epoch == 2
+        assert manager.audit().ok
