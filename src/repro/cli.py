@@ -5,6 +5,7 @@ Exposes the library's main flows without writing code::
     repro-workflow demo figure1          # the paper's worked example
     repro-workflow demo banking          # forged transfer + recovery
     repro-workflow demo travel           # forged card data + recovery
+    repro-workflow demo web-app          # session hijack + recovery
     repro-workflow steady --lam 1.0      # Equation 1 for one config
     repro-workflow transient --t 4       # Equations 2–3 over time
     repro-workflow design --lam 1 --epsilon 0.01   # Section VI sizing
@@ -18,6 +19,8 @@ Exposes the library's main flows without writing code::
     repro-workflow lint spec --all-scenarios        # static spec checks
     repro-workflow lint plan run.jsonl              # verify recovery provenance
     repro-workflow lint code src/repro              # determinism lint
+    repro-workflow fuzz --budget 60s     # oracle-checked campaign fuzzing
+    repro-workflow fuzz --replay tests/corpus/*.json   # corpus replay
     repro-workflow stg-dot --buffer 3    # Figure 3 as Graphviz DOT
 
 Every command prints plain text tables (see ``--help`` per command).
@@ -35,6 +38,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import (
     FleetError,
+    GenerationError,
     ObsError,
     RecoveryError,
     SchedulingError,
@@ -151,6 +155,16 @@ def cmd_demo(args) -> int:
         print(report.summary())
         print(f"after heal : seats={sc.store.read('seats')} "
               f"revenue={sc.store.read('revenue')}")
+        print(f"strictly correct: {sc.audit.ok}")
+        return 0 if sc.audit.ok else 1
+    if args.scenario == "web-app":
+        from repro.scenarios.web_app import build_web_app
+
+        sc = build_web_app()
+        print(f"before heal: {sc.summary()}")
+        report = sc.heal_now()
+        print(report.summary())
+        print(f"after heal : {sc.summary()}")
         print(f"strictly correct: {sc.audit.ok}")
         return 0 if sc.audit.ok else 1
     # supply-chain
@@ -887,7 +901,9 @@ def cmd_fleet(args) -> int:
     return 0 if ok else 1
 
 
-_LINT_SCENARIOS = ("figure1", "banking", "travel", "supply-chain")
+_LINT_SCENARIOS = (
+    "figure1", "banking", "travel", "supply-chain", "web-app",
+)
 
 
 def _scenario_specs(name: str) -> List:
@@ -901,6 +917,9 @@ def _scenario_specs(name: str) -> List:
     elif name == "travel":
         from repro.scenarios.travel import build_travel
         built = build_travel()
+    elif name == "web-app":
+        from repro.scenarios.web_app import build_web_app
+        built = build_web_app()
     else:
         from repro.scenarios.supply_chain import build_supply_chain
         built = build_supply_chain()
@@ -976,6 +995,79 @@ def cmd_lint(args) -> int:
     return _emit_report(args, LintReport(lint_paths(paths)))
 
 
+def _budget_seconds(text: str) -> float:
+    """Parse a fuzz budget: ``90``, ``60s``, or ``2m``."""
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith("m"):
+        raw, scale = raw[:-1], 60.0
+    elif raw.endswith("s"):
+        raw = raw[:-1]
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid budget {text!r}; use e.g. 90, 60s, or 2m"
+        )
+    if value <= 0:
+        raise argparse.ArgumentTypeError("budget must be positive")
+    return value
+
+
+def cmd_fuzz(args) -> int:
+    """Adversarial campaign fuzzing: run generated attack campaigns
+    (single-tenant full-stack episodes and multi-tenant fleets) through
+    the composite oracle — plan verifier, strict-correctness audit,
+    flight-log determinism, health-monitor conformance — shrinking and
+    persisting any counterexample as a replayable corpus file.  With
+    --inject, every analyzer plan is mutated and the run checks the
+    plan verifier catches it (exit 0 only when nothing slips through);
+    with --replay, corpus files are re-run instead of fuzzing."""
+    from repro.scenarios.fuzz import fuzz, replay_corpus
+
+    if args.replay:
+        failures = 0
+        for path, outcome in replay_corpus(args.replay):
+            if outcome.ok:
+                print(f"{path}: ok ({outcome.plans_checked} plans, "
+                      f"{outcome.heals} heals)")
+            else:
+                failures += 1
+                print(f"{path}: {len(outcome.violations)} violation(s)")
+                for violation in outcome.violations:
+                    print(f"  {violation.render()}")
+        print(f"replayed {len(args.replay)} corpus file(s), "
+              f"{failures} with violations")
+        return 0 if failures == 0 else 1
+
+    report = fuzz(
+        seed=args.seed,
+        budget_seconds=args.budget,
+        max_campaigns=args.campaigns,
+        inject=args.inject,
+        corpus_dir=args.corpus_dir,
+        multi_tenant_every=args.multi_tenant_every,
+        shrink=not args.no_shrink,
+        progress=lambda r: print(
+            f"  ... {r.campaigns} campaigns, "
+            f"{r.violations} violation(s)"
+        ),
+    )
+    print(report.summary())
+    for campaign, violations in report.findings:
+        print(f"counterexample (seed={campaign.seed}, "
+              f"tenants={campaign.tenants}):")
+        for violation in violations:
+            print(f"  {violation.render()}")
+    for path in report.corpus_files:
+        print(f"corpus: {path}")
+    if args.inject:
+        # Fault-injection mode: success means the verifier caught every
+        # campaign's mutated plans and none slipped through.
+        return 0 if report.caught > 0 and report.missed == 0 else 1
+    return 0 if report.violations == 0 else 1
+
+
 def cmd_sensitivity(args) -> int:
     """Elasticities of loss probability / P(NORMAL) at a design point."""
     from repro.markov.sensitivity import (
@@ -1042,7 +1134,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("demo", help=cmd_demo.__doc__)
     p.add_argument("scenario", choices=["figure1", "banking", "travel",
-                                        "supply-chain"])
+                                        "supply-chain", "web-app"])
     p.set_defaults(fn=cmd_demo)
 
     p = sub.add_parser("steady", help=cmd_steady.__doc__)
@@ -1192,6 +1284,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "('-' for stdout)")
     p.set_defaults(fn=cmd_lint)
 
+    p = sub.add_parser("fuzz", help=cmd_fuzz.__doc__)
+    p.add_argument("--budget", type=_budget_seconds, default=None,
+                   help="wall-clock budget, e.g. 60s or 2m "
+                        "(default: 200 campaigns)")
+    p.add_argument("--campaigns", type=_positive_int, default=None,
+                   help="stop after this many campaigns")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; campaign i uses a derived seed "
+                        "(default: 0)")
+    p.add_argument("--inject", default=None,
+                   choices=["drop-undo", "extra-redo", "reverse-edge"],
+                   help="fault-injection mode: mutate every analyzer "
+                        "plan and check the verifier catches it")
+    p.add_argument("--corpus-dir", default="fuzz-corpus",
+                   help="directory for shrunk counterexamples "
+                        "(default: fuzz-corpus)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="persist counterexamples without shrinking")
+    p.add_argument("--multi-tenant-every", type=int, default=8,
+                   help="every Nth campaign runs multi-tenant through "
+                        "the fleet control plane; 0 disables "
+                        "(default: 8)")
+    p.add_argument("--replay", nargs="+", metavar="FILE",
+                   help="replay corpus files instead of fuzzing")
+    p.set_defaults(fn=cmd_fuzz)
+
     p = sub.add_parser("sensitivity", help=cmd_sensitivity.__doc__)
     _add_model_args(p)
     p.set_defaults(fn=cmd_sensitivity)
@@ -1219,8 +1337,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (FleetError, ObsError, RecoveryError, SchedulingError,
-            SimulationError, WorkflowSpecError, OSError) as exc:
+    except (FleetError, GenerationError, ObsError, RecoveryError,
+            SchedulingError, SimulationError, WorkflowSpecError,
+            OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_DOMAIN_ERROR
 

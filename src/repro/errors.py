@@ -25,6 +25,7 @@ __all__ = [
     "SimulationError",
     "ObsError",
     "FleetError",
+    "GenerationError",
 ]
 
 
@@ -144,4 +145,18 @@ class FleetError(ReproError):
     Raised for unknown workload-mix archetypes, invalid tenant/worker
     counts, and control-plane lifecycle violations (e.g. reading fleet
     health before any tenants exist).
+    """
+
+
+# --------------------------------------------------------------------------
+# Campaign generation / fuzzing
+# --------------------------------------------------------------------------
+
+
+class GenerationError(ReproError):
+    """A campaign document or generator request is invalid.
+
+    Raised for malformed corpus files (unknown format tags, bad step
+    kinds/triggers, non-JSON input) and for unknown plan-mutation or
+    fuzzing-mode names — the CLI's exit-3 path for the ``fuzz`` verb.
     """

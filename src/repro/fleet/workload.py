@@ -16,6 +16,7 @@ archetypes performs four solves, not ten thousand.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from repro.workflow.spec import WorkflowSpec, workflow
 
 __all__ = [
     "TenantProfile",
+    "GeneratedTenantProfile",
     "PROFILES",
     "resolve_mix",
     "prediction_for",
@@ -149,7 +151,94 @@ class TenantProfile:
         return spec, campaign, name
 
 
-#: The four built-in archetypes a fleet mix draws from.
+def _web_spec(name: str) -> WorkflowSpec:
+    """Request → render pair against a shared inventory — the web-shop
+    tier of :mod:`repro.scenarios.web_app` at fleet scale."""
+    return (
+        workflow(name)
+        .task("request", reads=["inventory"],
+              writes=["inventory", f"cart_{name}"],
+              compute=lambda d: {
+                  "inventory": d["inventory"] - 1,
+                  f"cart_{name}": d["inventory"] - 1,
+              })
+        .task("render", reads=[f"cart_{name}"], writes=[f"page_{name}"],
+              compute=lambda d: {f"page_{name}": d[f"cart_{name}"] * 2 + 1})
+        .chain("request", "render")
+        .build()
+    )
+
+
+@dataclass(frozen=True)
+class GeneratedTenantProfile(TenantProfile):
+    """A tenant whose attacked runs are seeded random chains.
+
+    The fuzzing harness (:mod:`repro.scenarios.fuzz`) uses this profile
+    to drive the fleet control plane with campaign-specific traffic:
+    each attacked run is a small task chain drawn from
+    ``stable_seed(campaign_seed, seq)``, reading and (in its last task)
+    writing the shared ``pool`` object — the contagion channel through
+    which one tenant's corruption chains across its own later runs.
+    Two profiles with the same ``campaign_seed`` draw identical attack
+    streams (the *correlated* cross-tenant campaigns of the DSL).
+    """
+
+    #: Unused — attacked specs are generated, not factory-built.
+    spec_factory: Optional[Callable[[str], WorkflowSpec]] = field(
+        default=None, repr=False)
+    initial_data: Tuple[Tuple[str, int], ...] = (("pool", 1),)
+    campaign_seed: int = 0
+    chain_length: int = 3
+    delta: int = 4_242
+
+    def build_attack(
+        self, seq: int
+    ) -> Tuple[WorkflowSpec, AttackCampaign, str]:
+        from repro.scenarios.generate import MODULUS, stable_seed
+
+        rng = random.Random(stable_seed(self.campaign_seed, seq))
+        name = f"atk{seq}"
+        length = max(2, self.chain_length)
+        builder = workflow(name)
+        prev_obj: Optional[str] = None
+        prev_tid: Optional[str] = None
+        for i in range(length):
+            tid = f"r{i + 1}"
+            own = f"{name}_o{i + 1}"
+            last = i == length - 1
+            if prev_obj is None:
+                reads = ["pool"]
+            elif last:
+                reads = [prev_obj, "pool"]
+            else:
+                reads = [prev_obj]
+            writes = [own, "pool"] if last else [own]
+            weight, bias = rng.randint(1, 9), rng.randint(0, 999)
+
+            def compute(d, _r=tuple(reads), _w=tuple(writes),
+                        _a=weight, _b=bias):
+                acc = _b
+                for key in _r:
+                    acc = (acc * _a + int(d[key])) % MODULUS
+                return {w: (acc + j) % MODULUS for j, w in enumerate(_w)}
+
+            builder.task(tid, reads=reads, writes=writes, compute=compute)
+            if prev_tid is not None:
+                builder.edge(prev_tid, tid)
+            prev_obj, prev_tid = own, tid
+        spec = builder.build()
+        victim = f"r{rng.randint(1, length)}"
+        campaign = AttackCampaign().shift_outputs(
+            victim,
+            delta=self.delta,
+            modulus=MODULUS,
+            workflow_instance=name,
+            label=f"generated corrupt {name}:{victim}",
+        )
+        return spec, campaign, name
+
+
+#: The built-in archetypes a fleet mix draws from.
 PROFILES: Dict[str, TenantProfile] = {
     "figure1": TenantProfile(
         name="figure1", spec_factory=_figure1_spec,
@@ -170,6 +259,11 @@ PROFILES: Dict[str, TenantProfile] = {
         name="supply", spec_factory=_supply_spec,
         attacked_task="order", attacked_object="stock",
         initial_data=(("stock", 1000),), arrival_rate=0.15,
+    ),
+    "web": TenantProfile(
+        name="web", spec_factory=_web_spec,
+        attacked_task="request", attacked_object="inventory",
+        initial_data=(("inventory", 200),), arrival_rate=0.25,
     ),
 }
 

@@ -158,6 +158,40 @@ class AttackCampaign:
         )
         return self
 
+    def shift_outputs(
+        self,
+        task_id: Optional[str] = None,
+        delta: int = 4_242,
+        modulus: int = 10_007,
+        workflow_instance: Optional[str] = None,
+        number: Optional[int] = None,
+        label: str = "",
+    ) -> "AttackCampaign":
+        """Shift every integer output of matching executions by
+        ``delta`` modulo ``modulus``.
+
+        The workhorse corruption of the generated campaigns: it both
+        corrupts downstream data and can flip parity-based branch
+        decisions (the Figure 1 phenomenon), exercising all four
+        conditions of Theorem 1.
+        """
+
+        def tamper(inputs, outputs, _d=delta, _m=modulus):
+            return {
+                name: (int(value) + _d) % _m
+                for name, value in outputs.items()
+            }
+
+        return self.transform_task(
+            task_id,
+            tamper,
+            workflow_instance=workflow_instance,
+            number=number,
+            label=label or (
+                f"shift {task_id or workflow_instance or '*'} by {delta}"
+            ),
+        )
+
     def forge_run(self, workflow_instance: str,
                   label: str = "") -> "AttackCampaign":
         """Mark an entire run as attacker-forged.

@@ -9,10 +9,17 @@
   forged credit-card data steering an approval branch;
 - :mod:`repro.scenarios.supply_chain` — a compound case study: data
   corruption plus a forged run across procurement, sales and
-  bookkeeping workflows.
+  bookkeeping workflows;
+- :mod:`repro.scenarios.web_app` — an Ancora-style web shop: a session
+  hijack at request granularity, with live traffic racing the repair.
 
 Each module exposes a ``build_*()`` returning a ready-to-run scenario
 with a ``heal_now()`` performing recovery and the Definition 2 audit.
+
+Beyond the fixed case studies, :mod:`repro.scenarios.generate` grows
+seeded random workloads and attack campaigns (the fuzzing DSL), and
+:mod:`repro.scenarios.fuzz` runs them through the oracle-checked
+fuzzing harness behind ``repro-workflow fuzz``.
 """
 
 from repro.scenarios.banking import BankingScenario, build_banking
@@ -22,6 +29,7 @@ from repro.scenarios.supply_chain import (
     build_supply_chain,
 )
 from repro.scenarios.travel import TravelScenario, build_travel
+from repro.scenarios.web_app import WebAppScenario, build_web_app
 
 __all__ = [
     "Figure1Scenario",
@@ -32,4 +40,6 @@ __all__ = [
     "build_travel",
     "SupplyChainScenario",
     "build_supply_chain",
+    "WebAppScenario",
+    "build_web_app",
 ]

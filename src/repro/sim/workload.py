@@ -153,14 +153,21 @@ class WorkloadGenerator:
 
     # -- workload -------------------------------------------------------------
 
-    def generate(self) -> Workload:
-        """Generate a fresh workload."""
+    def generate(self, prefix: str = "W") -> Workload:
+        """Generate a fresh workload.
+
+        ``prefix`` namespaces the workflow ids (``W0``, ``W1``, ... by
+        default) — generated workloads with distinct prefixes can share
+        one epoch manager without instance-name collisions.  Shared
+        objects keep their unprefixed names, so workloads generated
+        with the same shape agree on their initial values.
+        """
         cfg = self._config
         shared = [f"s{i}" for i in range(cfg.n_shared_objects)]
         initial: Dict[str, Any] = {name: i + 1 for i, name in enumerate(shared)}
         specs: List[WorkflowSpec] = []
         for w in range(cfg.n_workflows):
-            spec, objects = self._generate_workflow(f"W{w}", w, shared)
+            spec, objects = self._generate_workflow(f"{prefix}{w}", w, shared)
             specs.append(spec)
             initial.update(objects)
         return Workload(specs=specs, initial_data=initial)
@@ -230,14 +237,16 @@ class WorkloadGenerator:
                 builder.edge(tail, head)
 
         def make_loop() -> None:
-            """setup → body (repeats itself count times) → exit."""
+            """setup → body (repeats toward a data-bounded target) → exit."""
             nonlocal task_no, prev_tails
             setup_id = f"{workflow_id}_t{task_no + 1}"
             body_id = f"{workflow_id}_t{task_no + 2}"
             exit_id = f"{workflow_id}_t{task_no + 3}"
             counter = f"cnt_{setup_id}"
+            target = f"lim_{setup_id}"
             acc = f"acc_{body_id}"
             objects[counter] = 0
+            objects[target] = 0
             objects[acc] = 0
 
             setup_reads = [produced[-1]] if produced else [shared[0]]
@@ -245,27 +254,34 @@ class WorkloadGenerator:
             builder.task(
                 setup_id,
                 reads=setup_reads,
-                writes=[counter],
-                compute=lambda d, _r=tuple(setup_reads), _c=counter: {
-                    _c: 1 + sum(int(d[k]) for k in _r) % 3
+                writes=[counter, target],
+                compute=lambda d, _r=tuple(setup_reads), _c=counter,
+                _t=target: {
+                    _c: 0,
+                    _t: 1 + sum(int(d[k]) for k in _r) % 3,
                 },
             )
             task_no += 1
             mod = cfg.value_modulus
             builder.task(
                 body_id,
-                reads=[counter, acc],
+                reads=[counter, target, acc],
                 writes=[counter, acc],
                 compute=lambda d, _c=counter, _a=acc, _m=mod: {
-                    _c: d[_c] - 1,
+                    _c: d[_c] + 1,
                     _a: (d[_a] * 3 + d[_c]) % _m,
                 },
-                # Exit whenever the counter leaves its legal band: a
-                # corrupted counter (attacks shift values by thousands)
-                # must terminate the loop immediately, not spin for
-                # thousands of iterations.
-                choose=lambda d, _c=counter, _b=body_id, _e=exit_id: (
-                    _b if 0 < d[_c] <= 3 else _e
+                # Repeat while the counter climbs toward its
+                # data-dependent target, but only inside the band a
+                # genuine execution can reach.  The counter counts *up*
+                # so corruption cannot stall it: a shifted counter
+                # either leaves 0..3 at once or keeps strictly growing
+                # and leaves within four iterations — the loop
+                # terminates under every shift delta except the one
+                # congruent to -1 mod the modulus.
+                choose=lambda d, _c=counter, _t=target, _b=body_id,
+                _e=exit_id: (
+                    _b if 0 <= d[_c] < min(int(d[_t]), 4) else _e
                 ),
             )
             task_no += 1
@@ -347,16 +363,10 @@ class WorkloadGenerator:
                 choices.append((spec.workflow_id, task_id))
         rng.shuffle(choices)
         for wf_id, task_id in choices[:n_attacks]:
-
-            def tamper(inputs, outputs, _d=delta, _m=modulus):
-                return {
-                    name: (int(value) + _d) % _m
-                    for name, value in outputs.items()
-                }
-
-            campaign.transform_task(
+            campaign.shift_outputs(
                 task_id,
-                tamper,
+                delta=delta,
+                modulus=modulus,
                 label=f"corrupt {wf_id}:{task_id}",
             )
         return campaign

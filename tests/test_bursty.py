@@ -91,3 +91,80 @@ class TestBurstySimulator:
         model = BurstModel.with_mean(1.0, 2.0, 1.0)
         with pytest.raises(SimulationError):
             BurstySimulator(stg, model).run(0.0)
+
+
+class TestAdversarialModels:
+    """Degenerate and hostile corners of the MMPP parameter space."""
+
+    def test_permanent_burst_is_poisson_at_peak(self):
+        """onset > 0, decay = 0: one transition into a burst that never
+        ends — the long-run process is Poisson at the peak rate."""
+        model = BurstModel(quiet_rate=0.0, burst_rate=3.0,
+                           onset_rate=5.0, decay_rate=0.0)
+        assert model.burst_fraction == pytest.approx(1.0)
+        assert model.mean_rate == pytest.approx(3.0)
+        stg = RecoverySTG.paper_default(arrival_rate=3.0, buffer_size=5)
+        result = BurstySimulator(stg, model, random.Random(7)).run(5_000.0)
+        analytic = loss_probability(stg, steady_state(stg.ctmc()))
+        assert result.loss_time_fraction == pytest.approx(analytic,
+                                                          abs=0.03)
+
+    def test_burst_that_never_starts_is_quiet_poisson(self):
+        """onset = 0 with a positive quiet rate: the burst phase is
+        unreachable and the stream is plain Poisson."""
+        model = BurstModel(quiet_rate=1.0, burst_rate=50.0,
+                           onset_rate=0.0, decay_rate=1.0)
+        assert model.burst_fraction == 0.0
+        assert model.mean_rate == pytest.approx(1.0)
+        stg = RecoverySTG.paper_default(arrival_rate=1.0, buffer_size=5)
+        result = BurstySimulator(stg, model, random.Random(9)).run(10_000.0)
+        analytic = loss_probability(stg, steady_state(stg.ctmc()))
+        assert result.loss_time_fraction == pytest.approx(analytic,
+                                                          abs=0.02)
+
+    def test_extreme_peak_saturates_tiny_buffer(self):
+        """A 100x peak against a one-slot buffer: most burst arrivals
+        must be lost, and the accounting stays consistent."""
+        stg = RecoverySTG.paper_default(buffer_size=1)
+        model = BurstModel.with_mean(1.0, peak_to_mean=100.0,
+                                     mean_burst_length=5.0)
+        result = BurstySimulator(stg, model, random.Random(11)).run(2_000.0)
+        assert 0 < result.arrivals_lost <= result.arrivals
+        assert result.alert_loss_fraction > 0.5
+
+    def test_alert_count_never_exceeds_buffer(self):
+        stg = RecoverySTG.paper_default(buffer_size=3)
+        model = BurstModel.with_mean(2.0, peak_to_mean=20.0,
+                                     mean_burst_length=2.0)
+        result = BurstySimulator(stg, model, random.Random(13)).run(500.0)
+        assert all(s.alerts <= 3 for s in result.occupancy)
+
+    def test_same_seed_is_bit_identical(self):
+        stg = RecoverySTG.paper_default(buffer_size=4)
+        model = BurstModel.with_mean(1.0, peak_to_mean=6.0,
+                                     mean_burst_length=2.0)
+        a = BurstySimulator(stg, model, random.Random(17)).run(300.0)
+        b = BurstySimulator(stg, model, random.Random(17)).run(300.0)
+        assert a.occupancy == b.occupancy
+        assert a.arrivals == b.arrivals and a.jumps == b.jumps
+
+    def test_jump_bound_enforced(self):
+        stg = RecoverySTG.paper_default(arrival_rate=5.0, buffer_size=4)
+        model = BurstModel.with_mean(5.0, peak_to_mean=4.0,
+                                     mean_burst_length=1.0)
+        with pytest.raises(SimulationError):
+            BurstySimulator(stg, model, random.Random(1)).run(
+                10_000.0, max_jumps=50
+            )
+
+    def test_negative_horizon_rejected(self):
+        stg = RecoverySTG.paper_default(buffer_size=3)
+        model = BurstModel.with_mean(1.0, 2.0, 1.0)
+        with pytest.raises(SimulationError):
+            BurstySimulator(stg, model).run(-1.0)
+
+    def test_mean_unreachable_quiet_rate_rejected(self):
+        # quiet_rate == mean makes p = 0: no valid burst fraction.
+        with pytest.raises(ModelError):
+            BurstModel.with_mean(1.0, peak_to_mean=2.0,
+                                 mean_burst_length=1.0, quiet_rate=1.0)

@@ -21,7 +21,7 @@ class TestParser:
 
 class TestDemo:
     @pytest.mark.parametrize("scenario", ["figure1", "banking", "travel",
-                                          "supply-chain"])
+                                          "supply-chain", "web-app"])
     def test_demos_succeed(self, scenario, capsys):
         assert main(["demo", scenario]) == 0
         out = capsys.readouterr().out
@@ -499,3 +499,59 @@ class TestFleet:
         assert code == 1
         assert "BREACH" in out
         assert "Worst tenants" in out
+
+
+class TestFuzz:
+    def test_budget_parsing(self):
+        args = build_parser().parse_args(["fuzz", "--budget", "90"])
+        assert args.budget == 90.0
+        args = build_parser().parse_args(["fuzz", "--budget", "60s"])
+        assert args.budget == 60.0
+        args = build_parser().parse_args(["fuzz", "--budget", "2m"])
+        assert args.budget == 120.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--budget", "soon"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--budget", "-5s"])
+
+    def test_clean_run_exits_zero(self, capsys, tmp_path):
+        code = main(["fuzz", "--campaigns", "10", "--seed", "0",
+                     "--corpus-dir", str(tmp_path / "corpus")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz: campaigns=10" in out
+        assert "violations=0" in out
+
+    def test_inject_mode_catches_and_writes_corpus(self, capsys,
+                                                   tmp_path):
+        corpus = tmp_path / "corpus"
+        code = main(["fuzz", "--campaigns", "3", "--inject",
+                     "drop-undo", "--corpus-dir", str(corpus)])
+        out = capsys.readouterr().out
+        assert code == 0  # caught everywhere, nothing missed
+        assert "missed=0" in out
+        assert "counterexample" in out
+        files = sorted(corpus.glob("ce-drop-undo-*.json"))
+        assert files
+        # Those files replay cleanly without the injected fault.
+        code = main(["fuzz", "--replay"] + [str(p) for p in files])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 with violations" in out
+
+    def test_replay_committed_corpus(self, capsys):
+        import glob
+        import os
+
+        paths = sorted(glob.glob(os.path.join(
+            os.path.dirname(__file__), "corpus", "*.json"
+        )))
+        assert paths
+        assert main(["fuzz", "--replay"] + paths) == 0
+        out = capsys.readouterr().out
+        assert f"replayed {len(paths)} corpus file(s)" in out
+
+    def test_unknown_inject_exits_two(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["fuzz", "--inject", "meltdown"])
+        assert exc.value.code == 2

@@ -1,0 +1,59 @@
+"""Regression corpus replay.
+
+Every file in ``tests/corpus/`` is a full campaign document (the same
+format ``repro-workflow fuzz`` writes for shrunk counterexamples).
+Each one replays through the complete oracle with zero violations —
+any healing or verification regression that breaks one of these
+exercised behaviours (multi-stage healing, false-alarm floods,
+SCAN/RECOVERY-timed injection, correlated fleet campaigns) fails here
+with the offending file named.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.scenarios.fuzz import load_campaign, run_campaign
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_present():
+    """The committed corpus must cover the DSL's attack vocabulary."""
+    names = {os.path.basename(p) for p in CORPUS}
+    assert {
+        "corrupt-basic.json",
+        "multi-stage.json",
+        "false-alarm-flood.json",
+        "scan-timed.json",
+        "recovery-timed.json",
+        "fleet-correlated.json",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS]
+)
+def test_corpus_file_replays_clean(path):
+    campaign = load_campaign(path)
+    outcome = run_campaign(campaign)
+    assert outcome.ok, [v.render() for v in outcome.violations]
+    assert outcome.plans_checked >= 1 or campaign.tenants > 1
+    assert outcome.heals >= 1
+
+
+def test_corpus_covers_triggers_and_kinds():
+    kinds = set()
+    triggers = set()
+    tenants = 1
+    for path in CORPUS:
+        campaign = load_campaign(path)
+        tenants = max(tenants, campaign.tenants)
+        for step in campaign.steps:
+            kinds.add(step.kind)
+            triggers.add(step.trigger)
+    assert {"corrupt", "forge-run", "false-alarm"} <= kinds
+    assert {"ingest", "scan", "recovery"} <= triggers
+    assert tenants > 1  # at least one fleet campaign

@@ -96,3 +96,78 @@ class TestFig4Cases:
         for f, g in fig4_cases(7.0, 9.0).values():
             assert f(1) == 7.0
             assert g(1) == 9.0
+
+
+class TestAdversarialInputs:
+    """Hostile corners: extreme queue depths, boundary parameters, and
+    the non-increasing law under randomly drawn bases (the shared
+    strategy palette from repro.scenarios.generate)."""
+
+    def test_huge_queue_depths_stay_finite_and_nonnegative(self):
+        for fn in (constant(15.0), inverse_k(15.0),
+                   power_law(15.0, 0.5), geometric(15.0, 0.9),
+                   linear_decay(15.0, 0.1)):
+            for k in (1, 10**3, 10**6, 10**9):
+                rate = fn(k)
+                assert rate >= 0.0
+                assert rate <= fn.base
+
+    def test_geometric_underflows_to_zero_not_error(self):
+        fn = geometric(10.0, 0.5)
+        assert fn(10_000) == 0.0  # denormal-range underflow is clamped
+        assert fn(10_000) >= 0.0
+
+    def test_geometric_ratio_one_is_constant(self):
+        fn = geometric(8.0, 1.0)
+        assert [fn(k) for k in (1, 5, 500)] == [8.0, 8.0, 8.0]
+
+    def test_linear_decay_step_larger_than_base_floors_immediately(self):
+        fn = linear_decay(2.0, 100.0, floor=0.25)
+        assert fn(1) == 2.0
+        assert fn(2) == 0.25
+        assert fn(10**6) == 0.25
+
+    def test_linear_decay_zero_floor_allowed(self):
+        fn = linear_decay(1.0, 1.0, floor=0.0)
+        assert fn(2) == 0.0  # zero rate is legal (queue stalls)
+
+    def test_rebased_to_negative_base_is_caught_on_call(self):
+        fn = inverse_k(5.0).rebased(-5.0)
+        with pytest.raises(ValueError):
+            fn(1)
+
+    def test_k_zero_and_negative_rejected_by_every_family(self):
+        for fn in (constant(1.0), inverse_k(1.0), power_law(1.0, 0.3),
+                   geometric(1.0, 0.8), linear_decay(1.0, 0.1)):
+            for bad in (0, -1, -10**9):
+                with pytest.raises(ValueError):
+                    fn(bad)
+
+    def test_fig4_cases_rebase_consistently(self):
+        for f, g in fig4_cases(3.0, 4.0).values():
+            rf, rg = f.rebased(30.0), g.rebased(40.0)
+            assert rf(1) == 30.0 and rg(1) == 40.0
+            assert rf.name == f.name and rg.name == g.name
+
+
+class TestNonIncreasingProperty:
+    """The paper's standing assumption μ_1 ≥ μ_2 ≥ ... holds for every
+    family at every drawn base rate — checked by property."""
+
+    def test_all_families_non_increasing_over_drawn_bases(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings
+
+        from repro.scenarios.generate import service_rates
+
+        @settings(max_examples=40, deadline=None)
+        @given(base=service_rates)
+        def inner(base):
+            for fn in (constant(base), inverse_k(base),
+                       power_law(base, 0.05), power_law(base, 1.0),
+                       geometric(base, 0.7), linear_decay(base, 0.5)):
+                rates = [fn(k) for k in range(1, 40)]
+                assert all(a >= b - 1e-12
+                           for a, b in zip(rates, rates[1:])), fn.name
+
+        inner()

@@ -1,6 +1,8 @@
 """Property tests: the independent plan verifier vs the real analyzer.
 
-Two directions, both over random workflow systems and attack sets:
+Two directions, both over random workflow systems and attack sets
+(drawn through the shared strategy library in
+:mod:`repro.scenarios.generate`):
 
 - **soundness of the pair**: every plan the analyzer produces is
   accepted by the verifier (two independent derivations of Theorems
@@ -9,49 +11,10 @@ Two directions, both over random workflow systems and attack sets:
   extra redo, reversed Theorem 3 edge) are always rejected.
 """
 
-import random
-from dataclasses import replace
-
 from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
 
-from repro.core.actions import Action
-from repro.core.analyzer import RecoveryAnalyzer
 from repro.lint import verify_plan
-from repro.sim.recovery_sim import run_pipeline
-from repro.sim.workload import WorkloadConfig, WorkloadGenerator
-from repro.workflow.precedence import PartialOrder
-
-
-def random_case(seed, n_attacks, branchiness, loopiness):
-    """(log, specs, plan) for a random attacked workload, unhealed."""
-    gen = WorkloadGenerator(
-        WorkloadConfig(
-            n_workflows=3,
-            tasks_per_workflow=8,
-            branch_probability=branchiness,
-            loop_probability=loopiness,
-        ),
-        random.Random(seed),
-    )
-    workload = gen.generate()
-    campaign = gen.pick_attacks(workload, n_attacks=n_attacks)
-    result = run_pipeline(workload, campaign, seed=seed, heal=False)
-    alerts = [u for u in result.malicious_ground_truth if u in result.log]
-    if not alerts:
-        return None
-    plan = RecoveryAnalyzer(
-        result.log, result.specs_by_instance
-    ).analyze(alerts)
-    return result.log, result.specs_by_instance, plan
-
-
-CASE = dict(
-    seed=st.integers(min_value=0, max_value=10_000),
-    n_attacks=st.integers(min_value=1, max_value=3),
-    branchiness=st.sampled_from([0.0, 0.3, 0.7]),
-    loopiness=st.sampled_from([0.0, 0.4]),
-)
+from repro.scenarios.generate import CASE, mutate_plan, random_attacked_case
 
 
 @settings(max_examples=25, deadline=None,
@@ -59,7 +22,7 @@ CASE = dict(
 @given(**CASE)
 def test_verifier_accepts_every_analyzer_plan(seed, n_attacks,
                                               branchiness, loopiness):
-    case = random_case(seed, n_attacks, branchiness, loopiness)
+    case = random_attacked_case(seed, n_attacks, branchiness, loopiness)
     if case is None:
         return
     log, specs, plan = case
@@ -72,17 +35,13 @@ def test_verifier_accepts_every_analyzer_plan(seed, n_attacks,
 @given(**CASE)
 def test_verifier_rejects_dropped_undo(seed, n_attacks, branchiness,
                                        loopiness):
-    case = random_case(seed, n_attacks, branchiness, loopiness)
+    case = random_attacked_case(seed, n_attacks, branchiness, loopiness)
     if case is None:
         return
     log, specs, plan = case
-    ua = plan.undo_analysis
-    victim = sorted(ua.definite)[-1]
-    mutated = replace(plan, undo_analysis=replace(
-        ua,
-        malicious=ua.malicious - {victim},
-        infected=ua.infected - {victim},
-    ))
+    mutated = mutate_plan(plan, "drop-undo", log)
+    if mutated is None:
+        return  # nothing to drop
     rules = {d.rule for d in verify_plan(log, specs, mutated)}
     assert "PLAN001" in rules
 
@@ -92,20 +51,13 @@ def test_verifier_rejects_dropped_undo(seed, n_attacks, branchiness,
 @given(**CASE)
 def test_verifier_rejects_extra_redo(seed, n_attacks, branchiness,
                                      loopiness):
-    case = random_case(seed, n_attacks, branchiness, loopiness)
+    case = random_attacked_case(seed, n_attacks, branchiness, loopiness)
     if case is None:
         return
     log, specs, plan = case
-    outsiders = sorted(
-        {r.uid for r in log.normal_records()}
-        - plan.undo_analysis.definite
-    )
-    if not outsiders:
+    mutated = mutate_plan(plan, "extra-redo", log)
+    if mutated is None:
         return  # everything was infected; no clean instance to inject
-    ra = plan.redo_analysis
-    mutated = replace(plan, redo_analysis=replace(
-        ra, definite=ra.definite | {outsiders[0]}
-    ))
     rules = {d.rule for d in verify_plan(log, specs, mutated)}
     assert "PLAN004" in rules
 
@@ -115,23 +67,12 @@ def test_verifier_rejects_extra_redo(seed, n_attacks, branchiness,
 @given(**CASE)
 def test_verifier_rejects_reversed_t33_edge(seed, n_attacks,
                                             branchiness, loopiness):
-    case = random_case(seed, n_attacks, branchiness, loopiness)
+    case = random_attacked_case(seed, n_attacks, branchiness, loopiness)
     if case is None:
         return
     log, specs, plan = case
-    redos = sorted(plan.redo_analysis.definite)
-    if not redos:
-        return
-    uid = redos[0]
-    target = (Action.undo(uid), Action.redo(uid))
-    order = PartialOrder()
-    for element in plan.order.elements():
-        order.add_element(element)
-    for before, after in plan.order.edges():
-        if (before, after) == target:
-            order.add_edge(after, before)
-        else:
-            order.add_edge(before, after)
-    mutated = replace(plan, order=order)
+    mutated = mutate_plan(plan, "reverse-edge", log)
+    if mutated is None:
+        return  # no redo edge to flip
     rules = {d.rule for d in verify_plan(log, specs, mutated)}
     assert "PLAN005" in rules and "PLAN006" in rules

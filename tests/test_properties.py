@@ -22,12 +22,16 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.actions import Action
-from repro.markov.ctmc import CTMC
 from repro.markov.steady_state import steady_state
 from repro.markov.transient import (
     cumulative_times,
     transient_probabilities,
     transient_probabilities_expm,
+)
+from repro.scenarios.generate import (
+    birth_death,
+    random_dag_edges,
+    segmented_commits,
 )
 from repro.sim.recovery_sim import run_pipeline
 from repro.sim.workload import WorkloadConfig, WorkloadGenerator
@@ -149,17 +153,6 @@ def test_healed_state_invariant_under_interleaving(seed, interleavings):
 # --------------------------------------------------------------------------
 
 
-@st.composite
-def random_dag_edges(draw):
-    n = draw(st.integers(min_value=2, max_value=18))
-    edges = set()
-    for j in range(1, n):
-        for i in range(j):
-            if draw(st.booleans()):
-                edges.add((f"v{i}", f"v{j}"))  # i < j keeps it acyclic
-    return [f"v{i}" for i in range(n)], edges
-
-
 @settings(max_examples=50, deadline=None)
 @given(random_dag_edges())
 def test_topological_order_is_linear_extension(dag):
@@ -190,22 +183,6 @@ def test_minimal_elements_have_no_internal_predecessors(dag):
 # --------------------------------------------------------------------------
 # 3. CTMC numerics
 # --------------------------------------------------------------------------
-
-
-@st.composite
-def birth_death(draw):
-    n = draw(st.integers(min_value=2, max_value=12))
-    lams = [
-        draw(st.floats(min_value=0.1, max_value=10.0)) for _ in range(n - 1)
-    ]
-    mus = [
-        draw(st.floats(min_value=0.1, max_value=10.0)) for _ in range(n - 1)
-    ]
-    rates = {}
-    for i in range(n - 1):
-        rates[(i, i + 1)] = lams[i]
-        rates[(i + 1, i)] = mus[i]
-    return CTMC.from_rates(list(range(n)), rates), lams, mus
 
 
 @settings(max_examples=40, deadline=None)
@@ -245,23 +222,6 @@ def test_cumulative_times_sum_to_horizon(bd, t):
 # --------------------------------------------------------------------------
 # 4. Segmented logs
 # --------------------------------------------------------------------------
-
-
-@st.composite
-def segmented_commits(draw):
-    """A random distributed execution: per-commit node choice and a
-    random (possibly empty) set of nodes notified afterwards."""
-    nodes = ["n0", "n1", "n2"]
-    n_commits = draw(st.integers(min_value=1, max_value=25))
-    plan = []
-    for i in range(n_commits):
-        node = draw(st.sampled_from(nodes))
-        notify = [
-            other for other in nodes
-            if other != node and draw(st.booleans())
-        ]
-        plan.append((node, notify))
-    return nodes, plan
 
 
 @settings(max_examples=50, deadline=None)

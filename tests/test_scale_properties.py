@@ -27,20 +27,12 @@ from repro.markov.degradation import constant
 from repro.markov.metrics import loss_probability
 from repro.markov.steady_state import steady_state
 from repro.markov.stg import RecoverySTG
+from repro.scenarios.generate import buffers, lambdas, service_rates
 from repro.sim.batch import spawn_seeds
 
 needs_scipy = pytest.mark.skipif(
     not sparse_available(), reason="scipy not available"
 )
-
-# Rates within a couple of orders of magnitude of the paper's defaults:
-# wide enough to explore, narrow enough that the chain stays well
-# conditioned and the solves stay fast.
-lambdas = st.floats(min_value=0.1, max_value=20.0,
-                    allow_nan=False, allow_infinity=False)
-service_rates = st.floats(min_value=0.5, max_value=50.0,
-                          allow_nan=False, allow_infinity=False)
-buffers = st.integers(min_value=1, max_value=12)
 
 
 @needs_scipy

@@ -1,0 +1,75 @@
+"""The Ancora-style web-application scenario.
+
+A session hijack forges Bob's add-to-cart quantity; his checkout
+drains the inventory, flipping Carol's legitimate checkout into a
+rejection, while Dave's traffic races the repair.  Healing must undo
+the hijack, re-decide Carol's branch, and keep every untouched commit.
+"""
+
+from repro.scenarios.web_app import PRICE, build_web_app
+
+
+class TestAttackedState:
+    def test_hijack_drains_inventory_and_rejects_carol(self):
+        sc = build_web_app()
+        # Alice bought 2, Bob's forged 90 drained the rest to 8, and
+        # Dave still got his single unit.
+        assert sc.store.read("inventory") == 7
+        assert sc.store.read("rejected_c2") == 1
+        assert sc.store.read("sess_carol") == 10  # never cleared
+        assert sc.store.read("receipt_b2") == 90 * PRICE
+
+    def test_hijacked_uid_is_logged(self):
+        sc = build_web_app()
+        assert sc.hijacked_uid in sc.log
+
+
+class TestHealing:
+    def test_heal_is_strictly_correct(self):
+        sc = build_web_app()
+        sc.heal_now()
+        assert sc.audit is not None and sc.audit.ok, (
+            sc.audit.problems[:3] if sc.audit else None
+        )
+
+    def test_heal_restores_the_genuine_day(self):
+        sc = build_web_app()
+        sc.heal_now()
+        # Genuine quantities: Alice 2, Bob 1, Carol 10, Dave 1 = 14
+        # units sold out of 100.
+        assert sc.store.read("inventory") == 86
+        assert sc.store.read("revenue") == 14 * PRICE
+        # Carol's checkout is re-decided into an approval.
+        assert sc.store.read("rejected_c2") == 0
+        assert sc.store.read("ok_c2") == 1
+        assert sc.store.read("receipt_c2") == 10 * PRICE
+        # Every cart is cleared once all checkouts succeed.
+        for user in ("alice", "bob", "carol", "dave"):
+            assert sc.store.read(f"sess_{user}") == 0
+
+    def test_untouched_requests_are_kept(self):
+        sc = build_web_app()
+        report = sc.heal_now()
+        kept_instances = {
+            sc.log.get(uid).instance.workflow_instance
+            for uid in report.kept
+        }
+        # Alice's requests commit before the hijack touches anything
+        # shared she depends on; they must survive untouched.
+        assert "add_a1" in kept_instances
+
+    def test_hijacked_run_is_undone_and_redone(self):
+        sc = build_web_app()
+        report = sc.heal_now()
+        assert sc.hijacked_uid in report.undone
+        # Bob's forged add is re-executed with the genuine quantity.
+        assert sc.store.read("sess_bob") == 0
+        assert sc.store.read("echo_b1") == 1
+
+    def test_summary_reflects_state(self):
+        sc = build_web_app()
+        before = sc.summary()
+        assert "inventory=7" in before
+        sc.heal_now()
+        after = sc.summary()
+        assert "inventory=86" in after and "carol=0" in after
