@@ -118,6 +118,11 @@ def _add_model_args(p: argparse.ArgumentParser) -> None:
 
 def cmd_demo(args) -> int:
     """Run one of the built-in scenarios end to end."""
+    if getattr(args, "flight_log", None) and args.scenario != "web-app":
+        raise ObsError(
+            "demo --flight-log is supported for the web-app scenario "
+            "only (the other demos heal outside the Figure 2 pipeline)"
+        )
     if args.scenario == "figure1":
         from repro.scenarios.figure1 import Figure1Scenario, build_figure1
 
@@ -161,6 +166,8 @@ def cmd_demo(args) -> int:
         from repro.scenarios.web_app import build_web_app
 
         sc = build_web_app()
+        if getattr(args, "flight_log", None):
+            return _demo_web_app_recorded(sc, args.flight_log)
         print(f"before heal: {sc.summary()}")
         report = sc.heal_now()
         print(report.summary())
@@ -177,6 +184,59 @@ def cmd_demo(args) -> int:
     print(f"after heal : {sc.summary()}")
     print(f"strictly correct: {sc.audit.ok}")
     return 0 if sc.audit.ok else 1
+
+
+def _demo_web_app_recorded(sc, path: str) -> int:
+    """Heal the hijacked web shop through the full Figure 2 pipeline
+    (alert queue → analyzer scan → batch heal) with a flight recorder
+    attached, leaving a replayable log whose conformance verdicts can
+    be re-derived offline (``obs replay --conformance --log FILE``)."""
+    from repro.obs.events import EventBus
+    from repro.obs.recorder import FlightRecorder
+    from repro.obs.tracing import ManualClock
+    from repro.system import SelfHealingSystem
+
+    bus = EventBus()
+    clock = ManualClock(0.0)
+    out = None if path == "-" else path
+    flight = FlightRecorder(
+        label="web-app",
+        path=out,
+        # The run ends at quiescence, so offline replay must close the
+        # trace (resolve remaining LTLf obligations) to reproduce the
+        # online monitor's final verdicts.
+        meta={"conformance_finalized": True},
+    ).attach(bus)
+    system = SelfHealingSystem(
+        store=sc.store,
+        log=sc.log,
+        specs_by_instance=sc.specs_by_instance,
+        bus=bus,
+        clock=clock,
+    )
+    flight.mark("start", clock.now, state=system.state.value)
+    print(f"before heal: {sc.summary()}")
+    system.submit_alert(sc.hijacked_uid)
+    clock.advance(1.0)
+    while system.alerts_queued:
+        if system.scan_step() is None:
+            raise ObsError("web-app analyzer stalled with alerts queued")
+        clock.advance(1.0)
+    report = system.recovery_step()
+    if report is None:
+        raise ObsError("web-app pipeline produced no heal report")
+    audit = sc.record_heal(report)
+    flight.mark("finalize", clock.now, state=system.state.value)
+    flight.close()
+    print(report.summary())
+    print(f"after heal : {sc.summary()}")
+    print(f"strictly correct: {audit.ok}")
+    if out is None:
+        print(flight.text(), end="")
+    else:
+        lines = flight.text().count("\n")
+        print(f"{lines} flight-log records written to {out}")
+    return 0 if audit.ok else 1
 
 
 def cmd_steady(args) -> int:
@@ -483,7 +543,11 @@ def _replay_verdict_check(log, run) -> None:
     ``obs record --scenario fullstack --health``); logs of unmonitored
     runs print nothing.
     """
-    from repro.obs.events import DriftDetected, SloTransition
+    from repro.obs.events import (
+        ConformanceViolation,
+        DriftDetected,
+        SloTransition,
+    )
     from repro.obs.health import (
         HealthConfig,
         ModelPrediction,
@@ -492,7 +556,8 @@ def _replay_verdict_check(log, run) -> None:
     from repro.sim.fullstack import FullStackConfig
 
     recorded = [e for e in run.events
-                if isinstance(e, (SloTransition, DriftDetected))]
+                if isinstance(e, (SloTransition, DriftDetected,
+                                  ConformanceViolation))]
     health = log.meta.get("health")
     if not recorded and not health:
         return
@@ -516,6 +581,7 @@ def _replay_verdict_check(log, run) -> None:
         )
     replayed = replay_verdicts(
         run.events, ModelPrediction.from_stg(cfg.stg()), config=config,
+        finalize=bool(log.meta.get("conformance_finalized")),
     )
     identical = replayed == recorded
     print(f"  verdict replay: {len(replayed)} re-derived, identical "
@@ -553,13 +619,57 @@ def _cmd_obs_replay(args) -> int:
     if run.schedule:
         print("  realized schedule: " + " -> ".join(run.schedule))
     _replay_verdict_check(log, run)
+    violations = 0
+    if getattr(args, "conformance", False):
+        violations = _replay_conformance_check(log)
     print()
     print(metrics_table(run.metrics, "Replayed pipeline metrics")
           .render())
     if args.prom:
         print("\nPrometheus exposition:")
         print(render_prometheus(run.metrics.registry), end="")
-    return 0
+    return 1 if violations else 0
+
+
+def _replay_conformance_check(log) -> int:
+    """Re-derive the LTLf strict-correctness verdicts from the raw
+    event stream (``obs replay --conformance``); prints every violation
+    and returns the count.
+
+    The trace is closed (liveness obligations resolved) exactly when
+    the log's header says the recording driver finalized its own
+    monitor — so replayed verdicts match the online ones event for
+    event on monitored runs, and add the end-of-trace resolution on
+    logs recorded with ``conformance_finalized``.
+    """
+    from repro.obs.events import ConformanceViolation
+    from repro.obs.monitor import replay_conformance
+
+    monitor = replay_conformance(
+        log.events,
+        finalize=bool(log.meta.get("conformance_finalized")),
+    )
+    recorded = [e for e in log.events
+                if isinstance(e, ConformanceViolation)]
+    count = monitor.violation_count
+    print(f"  conformance: {len(monitor.properties)} LTLf properties, "
+          f"{monitor.events_seen} events checked, "
+          f"{count} violation(s)")
+    if recorded:
+        identical = list(monitor.violations) == recorded
+        print(f"  conformance replay: {len(recorded)} recorded verdicts, "
+              f"identical to re-derived: {identical}")
+        if not identical:
+            raise ObsError(
+                "replayed conformance verdicts diverge from the "
+                "recorded stream — the flight log was not produced by "
+                "this monitor (or was edited)"
+            )
+    for v in monitor.violations:
+        instance = f" [{v.instance}]" if v.instance else ""
+        print(f"    {v.property}{instance}: {v.verdict} "
+              f"at t={v.time:g} — {v.detail}")
+    return count
 
 
 def _cmd_obs_explain(args) -> int:
@@ -1135,6 +1245,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("demo", help=cmd_demo.__doc__)
     p.add_argument("scenario", choices=["figure1", "banking", "travel",
                                         "supply-chain", "web-app"])
+    p.add_argument("--flight-log", metavar="FILE", default=None,
+                   help="drive the heal through the instrumented "
+                        "Figure 2 pipeline and write a replayable "
+                        "flight log to FILE ('-' for stdout; web-app "
+                        "scenario only)")
     p.set_defaults(fn=cmd_demo)
 
     p = sub.add_parser("steady", help=cmd_steady.__doc__)
@@ -1219,6 +1334,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ride a health monitor on the run and record "
                         "its SLO/drift verdicts into the flight log "
                         "(record/report, fullstack scenario)")
+    p.add_argument("--conformance", action="store_true",
+                   help="re-derive the LTLf strict-correctness "
+                        "verdicts from the replayed event stream "
+                        "(replay action); exit 1 on any violation")
     p.add_argument("--slo-loss", type=float, default=None,
                    help="explicit loss-SLO objective (watch; default: "
                         "3x the model's predicted loss)")

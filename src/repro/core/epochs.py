@@ -37,6 +37,7 @@ from repro.core.axioms import (
 )
 from repro.core.healer import HealReport, Healer
 from repro.errors import RecoveryError
+from repro.obs.events import HealFinished, HealStarted
 from repro.workflow.data import DataStore
 from repro.workflow.engine import Engine
 from repro.workflow.log import SystemLog
@@ -130,18 +131,39 @@ class EpochManager:
     # -- healing ----------------------------------------------------------------
 
     def heal(self, malicious, forged_runs=(), bus=None,
-             clock=None) -> HealReport:
+             clock=None, bracket: bool = False) -> HealReport:
         """Heal the current epoch, then roll to the next one.
 
         ``bus``/``clock`` are forwarded to the underlying
         :class:`~repro.core.healer.Healer` for per-task undo/redo
-        observability (no-ops when ``None``).
+        observability (no-ops when ``None``).  ``bracket=True``
+        additionally publishes the ``HealStarted``/``HealFinished``
+        pair around the heal — callers that drive the manager directly
+        (fleet sweeps, fuzz backlog drains) opt in so the conformance
+        monitor sees every undo/redo inside a heal bracket; callers
+        already bracketed upstream (``SelfHealingSystem.recovery_step``,
+        the fullstack simulator's ``commit_repairs``) keep the default.
         """
+        publish = (bracket and bus is not None and bus.active)
+        started = clock() if (publish and clock is not None) else 0.0
+        if publish:
+            bus.publish(HealStarted(started, malicious=tuple(malicious)))
         healer = Healer(
             self._store, self._log, self._specs, baseline=self._baseline,
             bus=bus, clock=clock,
         )
         report = healer.heal(malicious, forged_runs=forged_runs)
+        if publish:
+            now = clock() if clock is not None else 0.0
+            bus.publish(HealFinished(
+                now,
+                undone=len(report.undone),
+                redone=len(report.redone),
+                kept=len(report.kept),
+                abandoned=len(report.abandoned),
+                new_executions=len(report.new_executions),
+                duration=now - started,
+            ))
         self._combined_history.extend(report.final_history)
         self._roll_epoch(report)
         return report

@@ -285,10 +285,12 @@ class Healer:
         self._bus = bus if bus is not None and bus.active else None
         self._clock = clock if clock is not None else _time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
 
-    def _note_undo(self, uid: str, reason: str = "") -> None:
+    def _note_undo(self, uid: str, reason: str = "",
+                   disposition: bool = False) -> None:
         if self._bus is not None:
             self._bus.publish(
-                TaskUndone(self._clock(), uid=uid, reason=reason)
+                TaskUndone(self._clock(), uid=uid, reason=reason,
+                           disposition=disposition)
             )
 
     def _note_redo(self, uid: str, mode: str = "redo") -> None:
@@ -517,10 +519,20 @@ class Healer:
         uid = record.uid
         for name, ver in record.writes.items():
             dirty.add((name, ver))
-        if uid not in set(undone):
+        already_undone = uid in set(undone)
+        if not already_undone:
             undone.append(uid)
             actions.append(Action.undo(uid))
-            self._note_undo(uid, reason="abandoned")
+        # Always announce the abandonment, even when Phase A already
+        # rolled the record back as part of the closure: abandonment is
+        # the uid's *final disposition*, and without it the event stream
+        # cannot distinguish "undone, redo still owed" from "undone and
+        # legitimately dropped" (the LTLf redo-follow-through property
+        # discharges on this note).  When the closure undo already
+        # happened, the note is disposition-only so counters do not see
+        # a second undo operation.
+        self._note_undo(uid, reason="abandoned",
+                        disposition=already_undone)
         if uid not in closure:
             # Closure members already carry a Phase-A undo record.
             self._log.commit(

@@ -238,7 +238,11 @@ class TenantShard:
                 # administrator heal commits them (and rolls the epoch).
                 backlog = tuple(self._admin_backlog)
                 self.manager.heal(backlog, bus=self.bus,
-                                  clock=self.clock)
+                                  clock=self.clock, bracket=True)
                 del self._admin_backlog[:len(backlog)]
                 self.heals += 1
+        # Close the monitored trace: unresolved LTLf obligations (an
+        # undo decided but never executed, a heal never finished) become
+        # conformance violations in the tenant's final verdict.
+        self.monitor.finalize()
         self.audits_ok = self.manager.audit().ok

@@ -60,11 +60,22 @@ class TenantVerdict:
     audits_ok: bool = True
     latencies: Tuple[float, ...] = ()
 
+    @property
+    def conformance(self) -> SloState:
+        """The tenant's LTLf strict-correctness SLO state (OK when the
+        tenant's monitor ran without the conformance SLO)."""
+        for name, value in self.report.slo_states:
+            if name == "conformance":
+                return SloState(value)
+        return SloState.OK
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-able row of the fleet drill-down table."""
         return {
             "tenant": self.tenant,
             "verdict": self.verdict.value,
+            "conformance": self.conformance.value,
+            "violations": self.report.violations,
             "attacks": self.attacks,
             "alerts": self.report.arrivals,
             "lost": self.report.losses,
@@ -136,6 +147,7 @@ class FleetHealth:
             "heals": sum(t.heals for t in self.tenants),
             "audits_ok": all(t.audits_ok for t in self.tenants),
             "drift_count": self.merged.drift_count,
+            "violations": self.merged.violations,
             "latency": {
                 "samples": len(lat),
                 "p50": percentile(lat, 50),

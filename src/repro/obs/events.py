@@ -35,6 +35,7 @@ __all__ = [
     "QueueItemDropped",
     "SloTransition",
     "DriftDetected",
+    "ConformanceViolation",
     "EVENT_TYPES",
     "event_from_dict",
     "EventBus",
@@ -96,10 +97,23 @@ class ScanStep(ObsEvent):
 
 @dataclass(frozen=True)
 class UnitEmitted(ObsEvent):
-    """A recovery plan entered the recovery-task queue."""
+    """A recovery plan entered the recovery-task queue.
+
+    When the publisher is the real analyzer pipeline it also stamps the
+    plan's **claimed** blast radius: ``claimed_undo``/``claimed_redo``
+    are the sorted definite undo/redo sets of the queued plan and
+    ``claimed`` is ``True``.  The conformance monitor compares the claim
+    against the Theorem 1/2 decision events of the same scan window —
+    a mismatch means the plan was altered between analysis and queuing.
+    Abstract simulators that only track unit *counts* leave the default
+    ``claimed=False``, which the monitor treats as "no claim made".
+    """
 
     units: int
     queue_depth: int
+    claimed: bool = False
+    claimed_undo: Tuple[str, ...] = ()
+    claimed_redo: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -157,11 +171,18 @@ class TaskUndone(ObsEvent):
     ``reason`` distinguishes why: ``"closure"`` (Theorem 1 conditions
     1/3, undone in Phase A), ``"stale-read"`` (condition 4 resolved at
     settle time), or ``"abandoned"`` (the healed path no longer reaches
-    the record — Theorem 2's negative case).
+    the record — Theorem 2's negative case).  ``disposition`` marks a
+    *final-disposition note* rather than an undo operation: the record
+    was already rolled back earlier in the heal (Phase A closure) and
+    this event only announces its fate, so counters must not treat it
+    as a second undo.  The LTLf ``redo-follow-through`` monitor
+    discharges a definite-redo obligation on an ``"abandoned"`` note
+    regardless of the flag.
     """
 
     uid: str
     reason: str = ""
+    disposition: bool = False
 
 
 @dataclass(frozen=True)
@@ -304,6 +325,29 @@ class DriftDetected(ObsEvent):
     signal: str = ""
 
 
+@dataclass(frozen=True)
+class ConformanceViolation(ObsEvent):
+    """An LTLf conformance property failed over the event stream.
+
+    Published by :class:`repro.obs.monitor.ConformanceMonitor` the
+    moment a Definition 2 property reaches an irrevocably-violated
+    state.  ``property`` names the failed property
+    (``"heal-alternation"``, ``"undo-completeness"``, ...); ``verdict``
+    is ``"violated"`` for a hard mid-run violation or
+    ``"finally-violated"`` for a liveness obligation left unresolved at
+    end of trace; ``instance`` identifies the slice (a task uid, an
+    order edge) for parametric properties; ``detail`` is a human
+    explanation naming the triggering event.  Like
+    :class:`SloTransition`, this is *derived* telemetry: replay
+    re-derives it rather than feeding it back through the monitor.
+    """
+
+    property: str
+    verdict: str
+    instance: str = ""
+    detail: str = ""
+
+
 #: Registry of every concrete event type by its ``kind`` name, used by
 #: the flight-recorder loader to rebuild typed events from JSONL.
 EVENT_TYPES: Dict[str, Type[ObsEvent]] = {
@@ -313,6 +357,7 @@ EVENT_TYPES: Dict[str, Type[ObsEvent]] = {
         HealStarted, HealFinished, TaskUndone, TaskRedone,
         NormalTaskRefused, UndoDecision, RedoDecision, OrderConstraint,
         ActionDispatched, QueueItemDropped, SloTransition, DriftDetected,
+        ConformanceViolation,
     )
 }
 

@@ -44,18 +44,28 @@ from typing import (
 
 from repro.errors import ObsError
 from repro.obs.events import (
+    ActionDispatched,
     AlertEnqueued,
     AlertLost,
+    ConformanceViolation,
     DriftDetected,
     EventBus,
     HealFinished,
+    HealStarted,
+    NormalTaskRefused,
     ObsEvent,
+    OrderConstraint,
+    RedoDecision,
     ScanStep,
     SloTransition,
     StateTransition,
+    TaskRedone,
+    TaskUndone,
+    UndoDecision,
     UnitEmitted,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import ConformanceMonitor
 from repro.obs.windows import (
     Cusum,
     OccupancyWindow,
@@ -346,6 +356,12 @@ class HealthConfig:
     gtest_alpha: float = 1e-4
     gtest_every: int = 64
     gtest_min_count: int = 200
+    #: Run the LTLf strict-correctness monitor
+    #: (:class:`repro.obs.monitor.ConformanceMonitor`) and surface its
+    #: verdict as the ``conformance`` SLO.  On by default — the monitor
+    #: is cheap (a handful of automaton steps per event) and silent on
+    #: honest runs.
+    conformance: bool = True
 
     def resolved_loss_objective(self, prediction: ModelPrediction) -> float:
         """The loss SLO target: explicit when set, else three times the
@@ -402,10 +418,13 @@ class HealthMonitor:
     own event kinds, so republishing through the bus cannot loop.
     """
 
-    #: Event types the monitor consumes.
+    #: Event types the monitor consumes (the estimators' inputs plus
+    #: everything the embedded LTLf conformance monitor reads).
     CONSUMES = (
         AlertEnqueued, AlertLost, ScanStep, UnitEmitted,
         StateTransition, HealFinished,
+        HealStarted, TaskUndone, TaskRedone, NormalTaskRefused,
+        UndoDecision, RedoDecision, OrderConstraint, ActionDispatched,
     )
 
     def __init__(
@@ -475,6 +494,18 @@ class HealthMonitor:
                 min_samples=0,
             )),
         }
+        #: LTLf strict-correctness monitor (None when disabled).
+        self.conformance: Optional[ConformanceMonitor] = (
+            ConformanceMonitor() if cfg.conformance else None
+        )
+        if self.conformance is not None:
+            self.slos["conformance"] = Slo(SloSpec(
+                name="conformance",
+                objective=0.0,
+                description=("LTLf strict-correctness violations over "
+                             "the event stream (Definition 2)"),
+                min_samples=0,
+            ))
 
         #: Every SloTransition / DriftDetected this monitor produced,
         #: in order — the verdict history replay compares against.
@@ -500,6 +531,9 @@ class HealthMonitor:
             self._c_transitions = registry.counter(
                 "repro_health_slo_transitions_total",
                 help="SLO verdict changes")
+            self._c_violations = registry.counter(
+                "repro_conformance_violations_total",
+                help="LTLf strict-correctness property violations")
 
     # -- wiring ------------------------------------------------------------
 
@@ -530,6 +564,11 @@ class HealthMonitor:
         """
         if event.time > self.now:
             self.now = event.time
+        if (self.conformance is not None
+                and isinstance(event, ConformanceMonitor.CONSUMES)):
+            self._conformance_step(
+                event.time, self.conformance.consume(event)
+            )
         if isinstance(event, AlertEnqueued):
             self._on_arrival(event.time, lost=False)
             self._note_alert_depth(event.time, event.queue_depth)
@@ -550,6 +589,42 @@ class HealthMonitor:
             # unit-decrease jumps via StateTransition instead).
             self.total_recoveries += 1
             self._recoveries.observe(event.time)
+
+    def finalize(self, time: Optional[float] = None) -> None:
+        """Close the monitored trace: unresolved LTLf obligations become
+        ``finally-violated`` conformance violations (idempotent; no-op
+        when conformance monitoring is disabled).  Call at end of run —
+        mid-run verdicts never depend on it."""
+        if self.conformance is None:
+            return
+        stamp = self.now if time is None else time
+        self._conformance_step(stamp, self.conformance.finalize(stamp))
+
+    def _conformance_step(
+        self, time: float, violations: Sequence[ConformanceViolation]
+    ) -> None:
+        """Publish fresh violations and re-evaluate the conformance SLO."""
+        for violation in violations:
+            if self._registry is not None:
+                self._c_violations.inc()
+            self._publish(violation)
+        if violations:
+            self._evaluate_strictness(time)
+
+    def _evaluate_strictness(self, time: float) -> None:
+        # The conformance SLO is two-state: any violation is a hard
+        # BREACH (the CI is the point — a logic violation is not a
+        # statistical excursion), zero violations is OK.  No WARN band,
+        # so adding the SLO cannot perturb fleet scheduling or watch
+        # exit codes on honest runs.
+        if self.conformance is None:
+            return
+        value = float(self.conformance.violation_count)
+        slo = self.slos["conformance"]
+        self._transition_slo(
+            time, slo,
+            slo.evaluate(value, (value, value), samples=math.inf),
+        )
 
     def _on_arrival(self, time: float, lost: bool) -> None:
         self.total_arrivals += 1
@@ -799,6 +874,8 @@ class HealthMonitor:
             "slos": {name: slo.as_dict()
                      for name, slo in sorted(self.slos.items())},
             "drifts": [d.to_dict() for d in self.drifts],
+            "conformance": (self.conformance.summary()
+                            if self.conformance is not None else None),
             "prediction": self.prediction.as_dict(),
         }
 
@@ -823,6 +900,8 @@ class HealthMonitor:
                 (d.detector, d.time, d.statistic, d.signal)
                 for d in self.drifts
             ),
+            violations=(self.conformance.violation_count
+                        if self.conformance is not None else 0),
         )
 
 
@@ -848,6 +927,8 @@ class ConformanceReport:
     slo_transitions: int
     drifts: Tuple[Tuple[str, float, float, str], ...] = ()
     replications: int = 1
+    #: LTLf strict-correctness violations across the covered run(s).
+    violations: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -882,6 +963,7 @@ class ConformanceReport:
             "slo_transitions": self.slo_transitions,
             "drift_count": self.drift_count,
             "drifts": [list(d) for d in self.drifts],
+            "violations": self.violations,
         }
 
 
@@ -923,30 +1005,41 @@ def merge_conformance(
         slo_transitions=sum(r.slo_transitions for r in reports),
         drifts=drifts,
         replications=sum(r.replications for r in reports),
+        violations=sum(r.violations for r in reports),
     )
 
 
 #: Event kinds a monitor produces — stripped before re-feeding a log.
-_DERIVED = (SloTransition, DriftDetected)
+_DERIVED = (SloTransition, DriftDetected, ConformanceViolation)
 
 
 def replay_verdicts(
     events: Sequence[ObsEvent],
     prediction: ModelPrediction,
     config: Optional[HealthConfig] = None,
+    finalize: bool = False,
 ) -> List[ObsEvent]:
     """Re-derive the SLO verdict history from a recorded event stream.
 
     Feeds every non-derived event of ``events`` (a flight log's typed
     events) through a fresh :class:`HealthMonitor` with the same
     ``prediction``/``config`` and returns the SloTransition /
-    DriftDetected events it produces.  Because the monitor is a pure
-    function of the event sequence, the result equals the recorded
-    verdicts exactly — the replay guarantee the acceptance test pins.
+    DriftDetected / ConformanceViolation events it produces.  Because
+    the monitor is a pure function of the event sequence, the result
+    equals the recorded verdicts exactly — the replay guarantee the
+    acceptance test pins.
+
+    Pass ``finalize=True`` when the recorded run closed its trace
+    through :meth:`HealthMonitor.finalize` before the flight log was
+    written (such logs carry ``meta["conformance_finalized"]``) — the
+    replayed monitor then resolves end-of-trace LTLf obligations the
+    same way, keeping the streams identical.
     """
     monitor = HealthMonitor(prediction, config=config)
     for event in events:
         if isinstance(event, _DERIVED):
             continue
         monitor.handle(event)
+    if finalize:
+        monitor.finalize()
     return list(monitor.emitted)

@@ -434,7 +434,10 @@ class PipelineMetrics:
             self.undo_size.observe(event.undone)
             self.redo_size.observe(event.redone + event.new_executions)
         elif isinstance(event, TaskUndone):
-            self.tasks_undone.inc()
+            # Disposition-only notes (an abandoned record the closure
+            # already rolled back) are not a second undo operation.
+            if not event.disposition:
+                self.tasks_undone.inc()
         elif isinstance(event, TaskRedone):
             self.tasks_redone.inc()
         elif isinstance(event, NormalTaskRefused):

@@ -88,7 +88,10 @@ class SimTimeDriver:
                 self.scan_time * (1 + event.outstanding_units)
             )
         elif isinstance(event, (TaskUndone, TaskRedone)):
-            self.clock.advance(self.task_time)
+            # Disposition-only notes announce a fate already paid for
+            # (the closure undo); they cost no ξ work.
+            if not getattr(event, "disposition", False):
+                self.clock.advance(self.task_time)
 
 
 def run_figure1_observed(
@@ -173,7 +176,8 @@ def run_figure1_observed(
         # events are stamped at operation start, before the sim-time
         # driver advances the clock by task_time).
         for name, ev_type in (("undo", TaskUndone), ("redo", TaskRedone)):
-            times = [e.time for e in recorder.of_type(ev_type)]
+            times = [e.time for e in recorder.of_type(ev_type)
+                     if not getattr(e, "disposition", False)]
             if times:
                 child = Span(name, times[0], {"tasks": len(times)})
                 child.end = times[-1] + task_time

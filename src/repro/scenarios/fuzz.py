@@ -93,7 +93,7 @@ __all__ = [
 #: Oracle tags a violation can carry.
 ORACLES = (
     "plan-verifier", "audit", "determinism", "health", "exception",
-    "accounting",
+    "accounting", "conformance",
 )
 
 #: Queueing service times shared with the fleet profiles, so the small
@@ -126,6 +126,9 @@ class CampaignOutcome:
     mutated_plans: int = 0
     fleet: bool = False
     verdict: str = ""
+    #: LTLf strict-correctness violations the runtime monitor raised
+    #: (summed across tenants for fleet campaigns).
+    conformance_violations: int = 0
 
     @property
     def ok(self) -> bool:
@@ -202,6 +205,7 @@ class _EpisodeResult:
     alerts: int
     flight_text: str
     verdict: SloState
+    conformance_violations: int = 0
 
 
 def _flat_tasks(workload: Workload) -> List[Tuple[str, str]]:
@@ -256,7 +260,8 @@ def _run_single_episode(campaign: CampaignSpec) -> _EpisodeResult:
     bus = EventBus()
     flight = FlightRecorder(
         label=campaign.label or "campaign",
-        meta={"seed": campaign.seed, "stages": len(campaign.stages)},
+        meta={"seed": campaign.seed, "stages": len(campaign.stages),
+              "conformance_finalized": True},
     )
     flight.attach(bus)
     monitor = HealthMonitor(_prediction(config)).attach(bus)
@@ -440,7 +445,8 @@ def _run_single_episode(campaign: CampaignSpec) -> _EpisodeResult:
                 if backlog:
                     # Administrator report with no recovery batch left
                     # to fold it into: heal it as its own batch.
-                    manager.heal(tuple(backlog), bus=bus, clock=clock)
+                    manager.heal(tuple(backlog), bus=bus, clock=clock,
+                                 bracket=True)
                     backlog.clear()
                     heals += 1
                     continue
@@ -452,7 +458,7 @@ def _run_single_episode(campaign: CampaignSpec) -> _EpisodeResult:
         if manager.log.normal_records():
             # Commits after the last heal (or a stage whose corruption
             # never executed): roll the epoch so the audit covers them.
-            manager.heal((), bus=bus, clock=clock)
+            manager.heal((), bus=bus, clock=clock, bracket=True)
             heals += 1
 
     audit = manager.audit()
@@ -460,6 +466,19 @@ def _run_single_episode(campaign: CampaignSpec) -> _EpisodeResult:
         violations.append(Violation(
             "audit", "; ".join(audit.problems[:3])
         ))
+    # Close the LTLf trace *before* the flight log: the finalize
+    # violations land in the recorded text, so the determinism oracle's
+    # byte-compare covers them and offline replay re-derives them.
+    monitor.finalize()
+    conformance = monitor.conformance
+    if conformance is not None:
+        for v in conformance.violations:
+            instance = f" [{v.instance}]" if v.instance else ""
+            violations.append(Violation(
+                "conformance",
+                f"{v.property}{instance} {v.verdict} at t={v.time:g}: "
+                f"{v.detail}",
+            ))
     flight.close()
     return _EpisodeResult(
         violations=violations,
@@ -468,6 +487,9 @@ def _run_single_episode(campaign: CampaignSpec) -> _EpisodeResult:
         alerts=alerts,
         flight_text=flight.text(),
         verdict=monitor.verdict,
+        conformance_violations=(
+            conformance.violation_count if conformance is not None else 0
+        ),
     )
 
 
@@ -545,6 +567,12 @@ def _run_fleet_campaign(campaign: CampaignSpec) -> CampaignOutcome:
                 "audit", f"tenant {tenant.tenant}: healed history failed "
                 "the strict-correctness audit"
             ))
+        if tenant.report.violations:
+            violations.append(Violation(
+                "conformance",
+                f"tenant {tenant.tenant}: {tenant.report.violations} "
+                "LTLf strict-correctness violation(s)",
+            ))
     if report.attacks != report.alerts_accepted + report.alerts_lost:
         violations.append(Violation(
             "accounting",
@@ -563,6 +591,7 @@ def _run_fleet_campaign(campaign: CampaignSpec) -> CampaignOutcome:
         alerts=report.alerts_accepted + report.alerts_lost,
         fleet=True,
         verdict=report.health.verdict.value,
+        conformance_violations=report.health.merged.violations,
     )
 
 
@@ -633,6 +662,9 @@ def run_campaign(
         mutated_plans=counter["applied"],
         fleet=False,
         verdict=first.verdict.value if first else "",
+        conformance_violations=(
+            first.conformance_violations if first else 0
+        ),
     )
 
 
@@ -803,6 +835,10 @@ class FuzzReport:
     mutated_plans: int = 0
     caught: int = 0
     missed: int = 0
+    #: Campaigns where the *runtime* LTLf monitor flagged at least one
+    #: violation — the subset of ``caught`` attributable to online
+    #: conformance monitoring rather than the static plan verifier.
+    monitor_caught: int = 0
     elapsed: float = 0.0
     findings: List[Tuple[CampaignSpec, Tuple[Violation, ...]]] = field(
         default_factory=list
@@ -821,7 +857,9 @@ class FuzzReport:
             f"fleet={self.fleet} plans={self.plans_checked} "
             f"heals={self.heals} violations={self.violations} "
             f"mutated={self.mutated_plans} caught={self.caught} "
-            f"missed={self.missed} elapsed={self.elapsed:.1f}s "
+            f"missed={self.missed} "
+            f"monitor_caught={self.monitor_caught} "
+            f"elapsed={self.elapsed:.1f}s "
             f"seed={self.seed}"
         )
 
@@ -885,6 +923,8 @@ def fuzz(
                 report.caught += 1
             else:
                 report.missed += 1
+        if outcome.conformance_violations:
+            report.monitor_caught += 1
         if outcome.violations:
             shrunk = campaign
             final = outcome.violations

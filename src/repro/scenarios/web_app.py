@@ -29,10 +29,11 @@ Carol's rejection into an approval, and re-pricing everything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.axioms import CorrectnessReport, audit_strict_correctness
 from repro.core.healer import HealReport, Healer
+from repro.obs.events import EventBus
 from repro.ids.attacks import AttackCampaign
 from repro.workflow.data import DataStore
 from repro.workflow.engine import Engine
@@ -114,18 +115,33 @@ class WebAppScenario:
     heal: Optional[HealReport] = None
     audit: Optional[CorrectnessReport] = None
 
-    def heal_now(self) -> HealReport:
+    def heal_now(
+        self,
+        bus: Optional[EventBus] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> HealReport:
         """Undo the hijacked request and repair its collateral damage —
-        while keeping every legitimate request that raced it."""
-        healer = Healer(self.store, self.log, self.specs_by_instance)
-        self.heal = healer.heal([self.hijacked_uid])
+        while keeping every legitimate request that raced it.  With a
+        ``bus`` (and ``clock``), the healer publishes its typed
+        undo/redo events for observers such as the conformance
+        monitor."""
+        healer = Healer(self.store, self.log, self.specs_by_instance,
+                        bus=bus, clock=clock)
+        self.record_heal(healer.heal([self.hijacked_uid]))
+        assert self.heal is not None
+        return self.heal
+
+    def record_heal(self, report: HealReport) -> CorrectnessReport:
+        """Adopt a heal report produced by an external driver (e.g. the
+        instrumented Figure 2 pipeline) and audit the healed history."""
+        self.heal = report
         self.audit = audit_strict_correctness(
             self.specs_by_instance,
             self.initial_data,
-            self.heal.final_history,
+            report.final_history,
             self.store.snapshot(),
         )
-        return self.heal
+        return self.audit
 
     def summary(self) -> str:
         """One-line view of the shop's shared state and sessions."""

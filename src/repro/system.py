@@ -279,9 +279,15 @@ class SelfHealingSystem:
             self._check_plan(plan)
         self._plans.push(plan)
         if self._bus is not None and self._bus.active:
+            # Stamp the queued plan's claimed blast radius so the
+            # conformance monitor can hold it against the Theorem 1/2
+            # decision events of this same scan (claim-consistency).
             self._bus.publish(UnitEmitted(
                 self._clock(), units=plan.units,
                 queue_depth=len(self._plans),
+                claimed=True,
+                claimed_undo=tuple(sorted(plan.undo_analysis.definite)),
+                claimed_redo=tuple(sorted(plan.redo_analysis.definite)),
             ))
             self._note_state()
         return plan

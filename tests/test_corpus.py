@@ -30,6 +30,7 @@ def test_corpus_is_present():
         "scan-timed.json",
         "recovery-timed.json",
         "fleet-correlated.json",
+        "monitor-scan-timed.json",
     } <= names
 
 
@@ -42,6 +43,10 @@ def test_corpus_file_replays_clean(path):
     assert outcome.ok, [v.render() for v in outcome.violations]
     assert outcome.plans_checked >= 1 or campaign.tenants > 1
     assert outcome.heals >= 1
+    # The runtime LTLf conformance monitor must stay silent on every
+    # honest corpus campaign (its violations would also fail `ok`
+    # above; this pins the dedicated counter too).
+    assert outcome.conformance_violations == 0
 
 
 def test_corpus_covers_triggers_and_kinds():

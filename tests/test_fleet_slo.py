@@ -30,7 +30,8 @@ import pytest
 
 
 def make_report(arrivals=0, losses=0, scans=0, recoveries=0,
-                verdict="OK", drifts=()):
+                verdict="OK", drifts=(), conformance="OK",
+                violations=0):
     return ConformanceReport(
         duration=10.0,
         arrivals=arrivals,
@@ -39,16 +40,18 @@ def make_report(arrivals=0, losses=0, scans=0, recoveries=0,
         recoveries=recoveries,
         predicted_loss=0.01,
         loss_objective=0.03,
-        slo_states=(("loss", verdict),),
+        slo_states=(("loss", verdict), ("conformance", conformance)),
         slo_transitions=0,
         drifts=tuple(drifts),
+        violations=violations,
     )
 
 
 verdicts_st = st.sampled_from(list(SloState))
 
 tenant_verdict_st = st.builds(
-    lambda idx, verdict, arrivals, losses, heals, audits, lat:
+    lambda idx, verdict, arrivals, losses, heals, audits, lat,
+    conformance, violations:
         TenantVerdict(
             tenant=f"t{idx:04d}",
             verdict=verdict,
@@ -58,6 +61,8 @@ tenant_verdict_st = st.builds(
                 scans=arrivals,
                 recoveries=heals,
                 verdict=verdict.value,
+                conformance=conformance.value,
+                violations=violations,
             ),
             attacks=arrivals + losses,
             heals=heals,
@@ -71,6 +76,8 @@ tenant_verdict_st = st.builds(
     heals=st.integers(0, 20),
     audits=st.booleans(),
     lat=st.lists(st.floats(0.001, 100.0), max_size=5),
+    conformance=st.sampled_from([SloState.OK, SloState.BREACH]),
+    violations=st.integers(0, 7),
 )
 
 #: Unique-by-tenant verdict lists (rollup rejects duplicates).
@@ -124,6 +131,9 @@ class TestRepartitionInvariance:
         merged = rollup(verdicts).merged
         assert merged.arrivals == sum(t.report.arrivals for t in verdicts)
         assert merged.losses == sum(t.report.losses for t in verdicts)
+        assert merged.violations == sum(
+            t.report.violations for t in verdicts
+        )
 
     @settings(max_examples=40)
     @given(verdicts=fleet_st)
@@ -174,6 +184,47 @@ class TestRollupEdges:
         assert d["latency"]["samples"] == 2
         assert d["latency"]["p50"] == 1.0
         assert d["latency"]["p99"] == 2.0
+
+
+class TestConformanceRollup:
+    """The third (LTLf conformance) SLO in the fleet drill-down."""
+
+    @settings(max_examples=60)
+    @given(verdicts=fleet_st, seed=st.randoms())
+    def test_violation_total_invariant_under_permutation(self, verdicts,
+                                                         seed):
+        shuffled = list(verdicts)
+        seed.shuffle(shuffled)
+        assert (rollup(shuffled).merged.violations
+                == rollup(verdicts).merged.violations)
+        assert (rollup(shuffled).as_dict()["violations"]
+                == rollup(verdicts).as_dict()["violations"])
+
+    @settings(max_examples=40)
+    @given(verdicts=fleet_st)
+    def test_tenant_row_exposes_conformance_verdict(self, verdicts):
+        for row in rollup(verdicts).as_dict()["worst_tenants"]:
+            tenant = next(t for t in verdicts if t.tenant == row["tenant"])
+            assert row["conformance"] == tenant.conformance.value
+            assert row["violations"] == tenant.report.violations
+
+    def test_conformance_verdict_reads_the_slo_state(self):
+        bad = TenantVerdict(
+            "t1", SloState.BREACH,
+            make_report(verdict="OK", conformance="BREACH", violations=3),
+        )
+        assert bad.conformance is SloState.BREACH
+        assert bad.as_dict()["conformance"] == "BREACH"
+        assert bad.as_dict()["violations"] == 3
+
+    def test_conformance_defaults_ok_without_the_slo(self):
+        report = ConformanceReport(
+            duration=1.0, arrivals=0, losses=0, scans=0, recoveries=0,
+            predicted_loss=0.0, loss_objective=1.0,
+            slo_states=(("loss", "OK"),), slo_transitions=0,
+        )
+        assert TenantVerdict("t1", SloState.OK, report).conformance \
+            is SloState.OK
 
 
 class TestPercentile:

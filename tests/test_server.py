@@ -115,7 +115,9 @@ class TestMonitoredEndpoints:
         payload = json.loads(body)
         assert status == 200
         assert payload["verdict"] == "OK"
-        assert set(payload["slos"]) == {"loss", "model-conformance"}
+        assert set(payload["slos"]) == {
+            "loss", "model-conformance", "conformance",
+        }
         low, high = payload["loss"]["ci"]
         assert 0.0 <= low <= high <= 1.0
         assert payload["prediction"]["loss_probability"] == (
