@@ -3,16 +3,18 @@
 
 Compares freshly produced ``BENCH_ctmc.json`` / ``BENCH_sim.json``
 (from ``benchmarks/bench_scale.py --out-dir ...``) and, when present,
-``BENCH_fleet.json`` (from ``benchmarks/bench_fleet.py``) against the
-committed baselines at the repository root and fails (exit 1) when:
+``BENCH_fleet.json`` (from ``benchmarks/bench_fleet.py``) and
+``BENCH_profile.json`` (from ``benchmarks/bench_profile.py``) against
+the committed baselines at the repository root and fails (exit 1) when:
 
 - either file is structurally invalid (wrong benchmark name, empty
   results);
 - a correctness invariant broke: any CTMC backend disagreement
   (``max_abs_diff``) above ``--max-abs-diff``, any simulation row
   with ``results_identical: false`` (workers=K must reproduce
-  workers=1 bit-exactly), or any fleet row with
-  ``workers_identical: false`` / ``audits_ok: false``;
+  workers=1 bit-exactly), any fleet row with
+  ``workers_identical: false`` / ``audits_ok: false``, or any profile
+  row below its attribution floor / with an unstable structure digest;
 - on rows present in *both* files (matched by ``buffer`` for the CTMC
   sweep, ``replications`` for the simulation batch), a speedup fell by
   more than ``--tolerance`` (default 25%) relative to the committed
@@ -189,6 +191,81 @@ def check_fleet(fresh: dict, baseline: Optional[dict],
     return failures
 
 
+def check_profile(fresh: dict, baseline: Optional[dict],
+                  attribution_slack: float = 0.05) -> List[str]:
+    """Failures found in the profiling-layer benchmark.
+
+    Hard invariants (always): every row with an ``attribution_floor``
+    meets it, every row's structure digest was stable across its two
+    runs, the fullstack row names per-alert closure recomputation and
+    the parallel-batch row names fan-out overhead as measured line
+    items.  Baseline comparison (tolerated absent — the profile
+    benchmark is the newest of the set) matches rows by scenario with
+    identical ``params`` and fails only when attribution dropped more
+    than ``attribution_slack`` absolute below the committed value;
+    digests are *not* compared across commits (any behavior change
+    legitimately moves them) and wall times are machine noise.
+    """
+    failures: List[str] = []
+    by_scenario: Dict[str, dict] = {}
+    for row in fresh["results"]:
+        by_scenario[row["scenario"]] = row
+        floor = row.get("attribution_floor")
+        if floor and row.get("attribution", 0.0) < floor:
+            failures.append(
+                f"profile {row['scenario']}: attribution "
+                f"{row.get('attribution', 0.0):.3f} below the "
+                f"{floor:.2f} floor (un-instrumented driver time)"
+            )
+        if not row.get("digest_stable", False):
+            failures.append(
+                f"profile {row['scenario']}: structure digest differs "
+                "between two identical runs (breakdown shape is "
+                "nondeterministic)"
+            )
+    fullstack = by_scenario.get("fullstack")
+    if fullstack is None:
+        failures.append("profile: no fullstack row")
+    elif fullstack.get("line_items", {}).get(
+            "closure_recomputations", 0) < 1:
+        failures.append(
+            "profile fullstack: closure_recomputations line item "
+            "missing or zero — the per-alert recomputation cost "
+            "(ROADMAP 2b) is no longer measured"
+        )
+    parallel = by_scenario.get("batch-parallel")
+    if parallel is None:
+        failures.append("profile: no batch-parallel row")
+    elif "fan_out_overhead_s" not in parallel.get("line_items", {}):
+        failures.append(
+            "profile batch-parallel: fan_out_overhead_s line item "
+            "missing — the parallel overhead (ROADMAP 2a) is no "
+            "longer measured"
+        )
+    compared = 0
+    if baseline is not None:
+        base_by_scenario = {row["scenario"]: row
+                            for row in baseline["results"]}
+        for scenario, row in by_scenario.items():
+            base = base_by_scenario.get(scenario)
+            if base is None or base.get("params") != row.get("params"):
+                continue
+            base_attr = base.get("attribution")
+            fresh_attr = row.get("attribution")
+            if base_attr is None or fresh_attr is None:
+                continue
+            compared += 1
+            if fresh_attr < base_attr - attribution_slack:
+                failures.append(
+                    f"profile {scenario}: attribution regressed "
+                    f"{base_attr:.3f} -> {fresh_attr:.3f} "
+                    f"(> {attribution_slack:.2f} absolute drop)"
+                )
+    print(f"profile: {len(fresh['results'])} rows checked, "
+          f"{compared} attributions compared against baseline")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -233,6 +310,17 @@ def main(argv=None) -> int:
         failures += check_fleet(fresh_fleet, base_fleet, args.tolerance)
     else:
         print("fleet: no fresh BENCH_fleet.json, skipped")
+
+    # Same for the profiling benchmark, the newest of the set.
+    fresh_profile_path = args.fresh_dir / "BENCH_profile.json"
+    if fresh_profile_path.exists():
+        fresh_profile = _load(fresh_profile_path, "profile")
+        base_profile_path = args.baseline_dir / "BENCH_profile.json"
+        base_profile = (_load(base_profile_path, "profile")
+                        if base_profile_path.exists() else None)
+        failures += check_profile(fresh_profile, base_profile)
+    else:
+        print("profile: no fresh BENCH_profile.json, skipped")
     if failures:
         print(f"\nFAIL: {len(failures)} benchmark regression(s):")
         for failure in failures:

@@ -16,6 +16,7 @@ them), which is exactly the ``μ_k`` degradation the CTMC models; see
 from __future__ import annotations
 
 import time as _time
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import (
     Callable,
@@ -39,6 +40,7 @@ from repro.obs.events import (
     ScanStep,
     UndoDecision,
 )
+from repro.obs.perf import PhaseProfiler, bump
 from repro.workflow.dependency import DependencyAnalyzer
 from repro.workflow.log import SystemLog
 from repro.workflow.spec import WorkflowSpec
@@ -63,6 +65,12 @@ class RecoveryAnalyzer:
     clock:
         Timestamp source for published events (default
         ``time.monotonic``).
+    profiler:
+        Optional :class:`~repro.obs.perf.PhaseProfiler`; when attached,
+        each :meth:`analyze` splits its wall time into the
+        ``analyze.closure`` (Theorem 1/2 dependency closure) and
+        ``analyze.plan`` (Theorem 3/4 ordering + cross-unit checks)
+        sub-phases.  No-op when ``None``.
     """
 
     def __init__(
@@ -71,15 +79,24 @@ class RecoveryAnalyzer:
         specs_by_instance: Mapping[str, WorkflowSpec],
         bus: Optional[EventBus] = None,
         clock: Optional[Callable[[], float]] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         self._log = log
         self._specs = dict(specs_by_instance)
         self._dep: Optional[DependencyAnalyzer] = None
         self._bus = bus
         self._clock = clock if clock is not None else _time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
+        self._profiler = profiler
 
     def _dependency_analyzer(self) -> DependencyAnalyzer:
         if self._dep is None or len(self._dep.log) != len(self._log):
+            # ROADMAP item 2(b)'s measured embarrassment: the closure
+            # machinery is rebuilt from scratch here — once per analyzer
+            # in standalone mode, once per *alert* in manager mode
+            # (the log rolls with every epoch).  Counted so the profile
+            # names it as a line item instead of burying it in
+            # "analyze" time.
+            bump("closure_recomputations")
             self._dep = DependencyAnalyzer(self._log, self._specs)
         return self._dep
 
@@ -110,24 +127,31 @@ class RecoveryAnalyzer:
         for alert in alerts:
             uid = alert.uid if isinstance(alert, Alert) else alert
             uids.append(uid)
-        analyzer = self._dependency_analyzer()
+        prof = self._profiler
         tracing = self._bus is not None and self._bus.active
         undo_trace: Optional[List[UndoDecision]] = [] if tracing else None
         redo_trace: Optional[List[RedoDecision]] = [] if tracing else None
         order_trace: Optional[List[OrderConstraint]] = \
             [] if tracing else None
-        undo_analysis = find_undo_tasks(analyzer, uids, trace=undo_trace)
-        redo_analysis = find_redo_tasks(
-            analyzer, undo_analysis.definite, trace=redo_trace
-        )
-        order = recovery_partial_order(
-            analyzer,
-            undo_set=undo_analysis.definite,
-            redo_set=redo_analysis.definite,
-            trace=order_trace,
-        )
-        order.check_acyclic()
-        cross = self._cross_unit_constraints(analyzer, order, outstanding)
+        with (prof.phase("analyze.closure") if prof is not None
+              else nullcontext()):
+            analyzer = self._dependency_analyzer()
+            undo_analysis = find_undo_tasks(analyzer, uids,
+                                            trace=undo_trace)
+            redo_analysis = find_redo_tasks(
+                analyzer, undo_analysis.definite, trace=redo_trace
+            )
+        with (prof.phase("analyze.plan") if prof is not None
+              else nullcontext()):
+            order = recovery_partial_order(
+                analyzer,
+                undo_set=undo_analysis.definite,
+                redo_set=redo_analysis.definite,
+                trace=order_trace,
+            )
+            order.check_acyclic()
+            cross = self._cross_unit_constraints(analyzer, order,
+                                                 outstanding)
         if tracing:
             now = self._clock()
             # Provenance first (why each action exists and how it is

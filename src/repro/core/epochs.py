@@ -131,7 +131,8 @@ class EpochManager:
     # -- healing ----------------------------------------------------------------
 
     def heal(self, malicious, forged_runs=(), bus=None,
-             clock=None, bracket: bool = False) -> HealReport:
+             clock=None, bracket: bool = False,
+             profiler=None) -> HealReport:
         """Heal the current epoch, then roll to the next one.
 
         ``bus``/``clock`` are forwarded to the underlying
@@ -143,6 +144,9 @@ class EpochManager:
         monitor sees every undo/redo inside a heal bracket; callers
         already bracketed upstream (``SelfHealingSystem.recovery_step``,
         the fullstack simulator's ``commit_repairs``) keep the default.
+        ``profiler`` (a :class:`~repro.obs.perf.PhaseProfiler`) is
+        likewise forwarded for the undo/settle/reconcile wall-time
+        split.
         """
         publish = (bracket and bus is not None and bus.active)
         started = clock() if (publish and clock is not None) else 0.0
@@ -150,7 +154,7 @@ class EpochManager:
             bus.publish(HealStarted(started, malicious=tuple(malicious)))
         healer = Healer(
             self._store, self._log, self._specs, baseline=self._baseline,
-            bus=bus, clock=clock,
+            bus=bus, clock=clock, profiler=profiler,
         )
         report = healer.heal(malicious, forged_runs=forged_runs)
         if publish:

@@ -54,6 +54,7 @@ alerts: SCAN drains the alert queue, then recovery executes).
 from __future__ import annotations
 
 import time as _time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -74,6 +75,7 @@ from repro.core.axioms import HistoryStep
 from repro.core.undo_redo import UndoAnalysis, find_undo_tasks
 from repro.errors import ExecutionError, RecoveryError
 from repro.obs.events import EventBus, TaskRedone, TaskUndone
+from repro.obs.perf import PhaseProfiler
 from repro.workflow.data import TOMBSTONE, DataStore
 from repro.workflow.dependency import DependencyAnalyzer
 from repro.workflow.log import LogRecord, RecordKind, SystemLog
@@ -267,6 +269,11 @@ class Healer:
     clock:
         Timestamp source for published events (default
         ``time.monotonic``).
+    profiler:
+        Optional :class:`~repro.obs.perf.PhaseProfiler`; when attached,
+        :meth:`heal` splits its wall time into the ``heal.undo`` /
+        ``heal.settle`` / ``heal.reconcile`` sub-phases (the algorithm's
+        Phases A–C).  No-op when ``None``.
     """
 
     def __init__(
@@ -277,6 +284,7 @@ class Healer:
         baseline: Optional[Mapping[str, int]] = None,
         bus: Optional[EventBus] = None,
         clock: Optional[Callable[[], float]] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         self._store = store
         self._log = log
@@ -284,6 +292,7 @@ class Healer:
         self._baseline = dict(baseline) if baseline is not None else None
         self._bus = bus if bus is not None and bus.active else None
         self._clock = clock if clock is not None else _time.monotonic  # lint: allow[DET001] injectable clock; wall time is the live default
+        self._profiler = profiler
 
     def _note_undo(self, uid: str, reason: str = "",
                    disposition: bool = False) -> None:
@@ -319,93 +328,103 @@ class Healer:
             task of such a run is undone and none redone (Axiom 1
             condition 1: "the task should not be executed").
         """
+        prof = self._profiler
         log = self._log
         forged = set(forged_runs)
-        analyzer = DependencyAnalyzer(log, self._specs)
-
-        bad: Set[str] = {u for u in malicious if u in log}
-        for record in log.normal_records():
-            if record.instance.workflow_instance in forged:
-                bad.add(record.uid)
-        undo_analysis = find_undo_tasks(analyzer, bad)
-        closure: Set[str] = set(undo_analysis.definite)
-
-        dirty: Set[Tuple[str, int]] = set()
-        for uid in closure:
-            for name, ver in analyzer.record(uid).writes.items():
-                dirty.add((name, ver))
-
-        undone: List[str] = []
-        actions: List[Action] = []
 
         # ---- Phase A: undo records for the closure -------------------------
-        for uid in sorted(
-            closure, key=lambda u: analyzer.record(u).seq, reverse=True
-        ):
-            record = analyzer.record(uid)
-            undone.append(uid)
-            actions.append(Action.undo(uid))
-            self._note_undo(uid, reason="closure")
-            log.commit(
-                record.instance,
-                reads={},
-                writes=dict(record.writes),  # the versions invalidated
-                kind=RecordKind.UNDO,
-            )
+        with (prof.phase("heal.undo") if prof is not None
+              else nullcontext()):
+            analyzer = DependencyAnalyzer(log, self._specs)
+
+            bad: Set[str] = {u for u in malicious if u in log}
+            for record in log.normal_records():
+                if record.instance.workflow_instance in forged:
+                    bad.add(record.uid)
+            undo_analysis = find_undo_tasks(analyzer, bad)
+            closure: Set[str] = set(undo_analysis.definite)
+
+            dirty: Set[Tuple[str, int]] = set()
+            for uid in closure:
+                for name, ver in analyzer.record(uid).writes.items():
+                    dirty.add((name, ver))
+
+            undone: List[str] = []
+            actions: List[Action] = []
+
+            for uid in sorted(
+                closure, key=lambda u: analyzer.record(u).seq,
+                reverse=True,
+            ):
+                record = analyzer.record(uid)
+                undone.append(uid)
+                actions.append(Action.undo(uid))
+                self._note_undo(uid, reason="closure")
+                log.commit(
+                    record.instance,
+                    reads={},
+                    writes=dict(record.writes),  # versions invalidated
+                    kind=RecordKind.UNDO,
+                )
 
         # ---- Phase B: settle pass -------------------------------------------
-        view = _SettledView(self._store, self._baseline)
-        kept: List[str] = []
-        redone: List[str] = []
-        abandoned: List[str] = []
-        new_execs: List[str] = []
-        history: List[HistoryStep] = []
+        with (prof.phase("heal.settle") if prof is not None
+              else nullcontext()):
+            view = _SettledView(self._store, self._baseline)
+            kept: List[str] = []
+            redone: List[str] = []
+            abandoned: List[str] = []
+            new_execs: List[str] = []
+            history: List[HistoryStep] = []
 
-        walkers: Dict[str, _Walker] = {}
-        remaining: Dict[str, List[LogRecord]] = {}
-        for wf in log.workflow_instances():
-            remaining[wf] = list(log.trace(wf))
-            if wf not in forged:
-                spec = self._specs.get(wf)
-                if spec is None:
-                    raise RecoveryError(
-                        f"no spec registered for workflow instance {wf!r}"
+            walkers: Dict[str, _Walker] = {}
+            remaining: Dict[str, List[LogRecord]] = {}
+            for wf in log.workflow_instances():
+                remaining[wf] = list(log.trace(wf))
+                if wf not in forged:
+                    spec = self._specs.get(wf)
+                    if spec is None:
+                        raise RecoveryError(
+                            f"no spec registered for workflow instance "
+                            f"{wf!r}"
+                        )
+                    walkers[wf] = _Walker(spec)
+
+            for record in log.normal_records():
+                wf = record.instance.workflow_instance
+                remaining[wf].pop(0)
+                if wf in forged:
+                    self._abandon(record, closure, dirty, undone,
+                                  abandoned, actions)
+                    continue
+                walker = walkers[wf]
+                if not walker.matches(record):
+                    self._abandon(record, closure, dirty, undone,
+                                  abandoned, actions)
+                    continue
+                if self._must_redo(record, closure, dirty, view):
+                    self._redo(record, walker, view, dirty, undone,
+                               redone, actions, history)
+                    self._run_inline_until_rejoin(
+                        wf, walker, remaining[wf], view, new_execs,
+                        actions, history,
                     )
-                walkers[wf] = _Walker(spec)
+                else:
+                    self._keep(record, walker, view, kept, history)
 
-        for record in log.normal_records():
-            wf = record.instance.workflow_instance
-            remaining[wf].pop(0)
-            if wf in forged:
-                self._abandon(record, closure, dirty, undone, abandoned,
-                              actions)
-                continue
-            walker = walkers[wf]
-            if not walker.matches(record):
-                self._abandon(record, closure, dirty, undone, abandoned,
-                              actions)
-                continue
-            if self._must_redo(record, closure, dirty, view):
-                self._redo(record, walker, view, dirty, undone, redone,
-                           actions, history)
-                self._run_inline_until_rejoin(
-                    wf, walker, remaining[wf], view, new_execs, actions,
-                    history,
-                )
-            else:
-                self._keep(record, walker, view, kept, history)
-
-        # Drive any diverged walker that outlived its original trace.
-        for wf in log.workflow_instances():
-            if wf in forged:
-                continue
-            walker = walkers[wf]
-            while not walker.finished:
-                self._execute_inline(wf, walker, view, new_execs, actions,
-                                     history)
+            # Drive any diverged walker that outlived its original trace.
+            for wf in log.workflow_instances():
+                if wf in forged:
+                    continue
+                walker = walkers[wf]
+                while not walker.finished:
+                    self._execute_inline(wf, walker, view, new_execs,
+                                         actions, history)
 
         # ---- Phase C: reconcile the physical store ---------------------------
-        self._reconcile(view)
+        with (prof.phase("heal.reconcile") if prof is not None
+              else nullcontext()):
+            self._reconcile(view)
 
         return HealReport(
             malicious=frozenset(bad),

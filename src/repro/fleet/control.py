@@ -37,10 +37,11 @@ test pins this).  Workers buy wall-clock time only.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import FleetError
+from repro.errors import FleetError, ObsError
 from repro.fleet.pool import WorkerPool
 from repro.fleet.shard import TenantShard
 from repro.fleet.slo import FleetHealth, TenantVerdict, rollup
@@ -48,6 +49,7 @@ from repro.fleet.workload import TenantProfile, resolve_mix
 from repro.ids.alerts import Alert, PriorityBoundedQueue
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf import PhaseProfiler, ProfileReport
 from repro.obs.tracing import ManualClock
 
 __all__ = ["FleetConfig", "FleetReport", "FleetControlPlane"]
@@ -57,11 +59,15 @@ __all__ = ["FleetConfig", "FleetReport", "FleetControlPlane"]
 class Token:
     """One centrally scheduled alert: which tenant, which alert, and
     the priority class *baked at offer time* (a verdict flip while
-    queued must not silently re-lane an item)."""
+    queued must not silently re-lane an item).  ``offered_at`` is the
+    sim time the alert was *first* offered centrally — deferrals
+    re-offer with the original stamp, so the grant-time dwell measures
+    the whole central-scheduling wait."""
 
     priority: int
     tenant_index: int
     alert: Alert
+    offered_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -178,6 +184,16 @@ class FleetControlPlane:
     profiles:
         Explicit profile cycle overriding ``config.mix`` resolution —
         tests use this to inject custom archetypes.
+    profiler:
+        Optional started :class:`~repro.obs.perf.PhaseProfiler`.  The
+        control plane records its tick phases (``tick.ingest`` /
+        ``tick.schedule`` / ``tick.process`` / ``tick.harvest``, plus
+        ``drain`` and ``sweep``) into it, gives every shard a private
+        profiler whose pipeline phases are folded in serially at
+        harvest under ``workers;<tenant>;…``, and measures the
+        central-scheduling dwell (``central-queue-wait``) and grant
+        count per granted alert.  See :meth:`profile_report` /
+        :meth:`profile_snapshot`.
     """
 
     def __init__(
@@ -186,10 +202,12 @@ class FleetControlPlane:
         registry: Optional[MetricsRegistry] = None,
         bus: Optional[EventBus] = None,
         profiles: Optional[Sequence[TenantProfile]] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
         self.bus = bus
+        self._profiler = profiler
         cycle = (list(profiles) if profiles is not None
                  else resolve_mix(config.mix))
         width = len(str(max(config.tenants - 1, 1)))
@@ -198,9 +216,21 @@ class FleetControlPlane:
                 tenant=f"t{i:0{width}d}",
                 profile=cycle[i % len(cycle)],
                 seed=config.seed + i,
+                profiled=profiler is not None,
             )
             for i in range(config.tenants)
         ]
+        if profiler is not None:
+            # Mirror phase exits into labeled registry histograms so a
+            # /metrics scrape sees repro_phase_wall_seconds{phase=...}
+            # alongside the fleet counters.  Shard profilers share the
+            # fleet registry: instrument locks make the cross-thread
+            # observes safe, and labels stay per-phase (not per-tenant)
+            # so cardinality is bounded.
+            profiler.bind_registry(self.registry)
+            for shard in self.shards:
+                if shard.profiler is not None:
+                    shard.profiler.bind_registry(self.registry)
         self.clock = ManualClock(0.0)
         self.central: PriorityBoundedQueue[Token] = PriorityBoundedQueue(
             config.resolved_central_capacity,
@@ -241,6 +271,18 @@ class FleetControlPlane:
         self._latency_seen: List[int] = [0] * config.tenants
         self._ticks = 0
         self._deferrals = 0
+        #: (tenant_index, uid) → sim time of the alert's *first*
+        #: central offer (cleared at grant; survives deferral).
+        self._first_offered: Dict[Tuple[int, str], float] = {}
+        #: Per-shard fold high-water marks: tenant → path → last
+        #: (calls, wall, sim) already folded into the fleet profiler.
+        self._shard_folded: Dict[
+            str, Dict[Tuple[str, ...], Tuple[int, float, float]]] = {}
+        #: Fleet-profiler high-water marks for per-tick deltas.
+        self._tick_folded: Dict[
+            Tuple[str, ...], Tuple[int, float, float]] = {}
+        #: Recent per-tick phase breakdowns (bounded; /profile payload).
+        self._tick_profiles: Deque[Dict[str, object]] = deque(maxlen=256)
 
     # -- one scheduling round ----------------------------------------------
 
@@ -249,15 +291,36 @@ class FleetControlPlane:
         self._ticks += 1
         tick_end = self._ticks * self.config.tick
         self.clock.set(max(tick_end, self.clock.now))
+        prof = self._profiler
 
-        # Phase 1 — ingest (serial, tenant order).
-        for index, shard in enumerate(self.shards):
-            accepted = shard.ingest(tick_end)
-            self._unscheduled[index].extend(accepted)
-        # Phase 2 — schedule (serial).
-        grants = self._schedule_round()
-        # Phase 3 — process (parallel over granted shards).
-        self._process_round(pool, grants, tick_end)
+        # The parent "tick" phase swallows the inter-round glue, so
+        # top-level attribution never leaks tick-internal gaps.
+        with (prof.phase("tick") if prof is not None
+              else nullcontext()):
+            # Phase 1 — ingest (serial, tenant order).
+            with (prof.phase("tick.ingest") if prof is not None
+                  else nullcontext()):
+                for index, shard in enumerate(self.shards):
+                    accepted = shard.ingest(tick_end)
+                    self._unscheduled[index].extend(accepted)
+            # Phase 2 — schedule (serial).
+            with (prof.phase("tick.schedule") if prof is not None
+                  else nullcontext()):
+                grants = self._schedule_round()
+            # Phase 3 — process (parallel over granted shards).
+            with (prof.phase("tick.process") if prof is not None
+                  else nullcontext()):
+                self._process_round(pool, grants, tick_end)
+            # Phase 4 — harvest (serial): fleet metrics, then shard
+            # profiles.  The per-tick note runs after the phase closes
+            # so its tick.harvest delta covers this very tick.
+            with (prof.phase("tick.harvest") if prof is not None
+                  else nullcontext()):
+                self._harvest_serial()
+                if prof is not None:
+                    self._fold_shard_profiles()
+            if prof is not None:
+                self._note_tick_profile(tick_end)
 
     def _schedule_round(self) -> List[Tuple[int, int]]:
         """Offer unscheduled alerts centrally, drain by priority.
@@ -273,14 +336,17 @@ class FleetControlPlane:
             cls = self.shards[index].priority_class
             count = 0
             for alert in backlog:
+                first = self._first_offered.setdefault(
+                    (index, alert.uid), self.clock.now)
                 if not self.central.offer(
-                        Token(cls, index, alert)):
+                        Token(cls, index, alert, first)):
                     break  # no room even with preemption: defer rest
                 count += 1
             offered[index] = count
         # Eviction may have bumped earlier tenants' tokens: the drain
         # below is the ground truth of who got granted this round.
         self._m_depth.set(len(self.central))
+        prof = self._profiler
         granted: Dict[int, int] = {}
         order: List[int] = []
         while self.central:
@@ -289,6 +355,15 @@ class FleetControlPlane:
                 granted[token.tenant_index] = 0
                 order.append(token.tenant_index)
             granted[token.tenant_index] += 1
+            if prof is not None:
+                # Central-scheduling dwell (first offer → grant) and
+                # the grant count: sim-time/calls-only line items, so
+                # neither distorts the wall attribution.
+                self._first_offered.pop(
+                    (token.tenant_index, token.alert.uid), None)
+                prof.add_at(("central-queue-wait",), 0.0,
+                            sim=self.clock.now - token.offered_at)
+                prof.add_at(("grant",), 0.0, 0.0, calls=1)
         # Grants consume each tenant's FIFO from the front; whatever
         # was offered-but-evicted (or never offered) stays queued.
         deferred_round = 0
@@ -329,7 +404,6 @@ class FleetControlPlane:
                 queued = list(shard.system.alert_queue)
                 for alert in reversed(queued[:leftover]):
                     self._unscheduled[index].appendleft(alert)
-        self._harvest_serial()
 
     def _harvest_serial(self) -> None:
         """Fold per-shard deltas into fleet metrics (serial phase, so
@@ -354,12 +428,96 @@ class FleetControlPlane:
         if delta > 0:
             counter.inc(delta)
 
+    # -- profiling ---------------------------------------------------------
+
+    def _fold_shard_profiles(self) -> None:
+        """Fold each shard profiler's *new* stats into the fleet
+        profiler under ``workers;<tenant>;…`` (serial phase, owner
+        thread — the same discipline as :meth:`_harvest_serial`)."""
+        assert self._profiler is not None
+        for shard in self.shards:
+            sprof = shard.profiler
+            if sprof is None:
+                continue
+            folded = self._shard_folded.setdefault(shard.tenant, {})
+            for path, (calls, wall, sim) in sorted(
+                    sprof.snapshot().items()):
+                c0, w0, s0 = folded.get(path, (0, 0.0, 0.0))
+                dc, dw, ds = calls - c0, wall - w0, sim - s0
+                if dc or dw or ds:
+                    self._profiler.add_at(
+                        ("workers", shard.tenant) + path,
+                        dw, ds, calls=dc)
+                folded[path] = (calls, wall, sim)
+
+    def _note_tick_profile(self, tick_end: float) -> None:
+        """Append this tick's per-phase deltas to the bounded per-tick
+        breakdown ring (the ``/profile`` payload's ``ticks``)."""
+        assert self._profiler is not None
+        entry_phases: Dict[str, Dict[str, float]] = {}
+        for path, (calls, wall, sim) in sorted(
+                self._profiler.snapshot().items()):
+            if (len(path) != 2 or path[0] != "tick"
+                    or not path[1].startswith("tick.")):
+                continue
+            c0, w0, s0 = self._tick_folded.get(path, (0, 0.0, 0.0))
+            entry_phases[path[1]] = {
+                "calls": calls - c0, "wall": wall - w0, "sim": sim - s0,
+            }
+            self._tick_folded[path] = (calls, wall, sim)
+        self._tick_profiles.append({
+            "tick": self._ticks,
+            "sim_end": tick_end,
+            "phases": entry_phases,
+        })
+
+    def profile_report(self, scenario: str = "fleet") -> ProfileReport:
+        """The fleet's attribution breakdown so far.
+
+        The per-tenant subtrees folded under the synthetic ``workers``
+        root are detail, not coverage — their wall time ran on worker
+        threads concurrently with the ``tick.*`` phases — so they are
+        excluded from the attribution fraction (``aux_roots``).
+        """
+        if self._profiler is None:
+            raise ObsError(
+                "fleet was constructed without a profiler; pass "
+                "profiler= to FleetControlPlane to enable /profile"
+            )
+        return self._profiler.report(scenario, aux_roots=("workers",))
+
+    def profile_snapshot(self) -> Dict[str, object]:
+        """JSON-able ``/profile`` payload: the fleet report plus
+        per-tenant pipeline tables and the recent per-tick breakdowns.
+
+        Readable between phase boundaries from the serving thread
+        (under the server owner lock, like ``/metrics`` and ``/slo``).
+        """
+        report = self.profile_report()
+        tenants: Dict[str, List[Dict[str, object]]] = {}
+        for row in report.rows:
+            parts = str(row["path"]).split(";")
+            if len(parts) < 3 or parts[0] != "workers":
+                continue
+            tenants.setdefault(parts[1], []).append({
+                "path": ";".join(parts[2:]),
+                "calls": row["calls"],
+                "wall": row["wall"],
+                "sim": row["sim"],
+            })
+        return {
+            "fleet": report.as_dict(),
+            "tenants": tenants,
+            "ticks": list(self._tick_profiles),
+        }
+
     # -- the full run ------------------------------------------------------
 
     def run(self) -> FleetReport:
         """Run ``duration`` sim time of tick rounds, sweep every shard
         to quiescence, and return the fleet report."""
         cfg = self.config
+        prof = self._profiler
         ticks = int(round(cfg.duration / cfg.tick))
         with WorkerPool(cfg.workers) as pool:
             for _ in range(max(ticks, 1)):
@@ -370,22 +528,27 @@ class FleetControlPlane:
             # analyzer is blocked by a full recovery queue with alerts
             # still pending: the paper's deadlock-by-overflow, resolved
             # only by the sweep's administrator path below).
-            guard = 0
-            while any(self._unscheduled) or any(
-                    s.system.alerts_queued for s in self.shards):
-                guard += 1
-                if guard > 100_000:
-                    raise FleetError(
-                        "fleet drain-down did not quiesce"
-                    )
-                before = sum(s.scans + s.heals for s in self.shards)
-                self._ticks += 1
-                end = self._ticks * cfg.tick
-                self.clock.set(max(end, self.clock.now))
-                grants = self._schedule_round()
-                self._process_round(pool, grants, end)
-                if sum(s.scans + s.heals for s in self.shards) == before:
-                    break  # only blocked shards remain; sweep resolves
+            with (prof.phase("drain") if prof is not None
+                  else nullcontext()):
+                guard = 0
+                while any(self._unscheduled) or any(
+                        s.system.alerts_queued for s in self.shards):
+                    guard += 1
+                    if guard > 100_000:
+                        raise FleetError(
+                            "fleet drain-down did not quiesce"
+                        )
+                    before = sum(
+                        s.scans + s.heals for s in self.shards)
+                    self._ticks += 1
+                    end = self._ticks * cfg.tick
+                    self.clock.set(max(end, self.clock.now))
+                    grants = self._schedule_round()
+                    self._process_round(pool, grants, end)
+                    self._harvest_serial()
+                    if sum(s.scans + s.heals
+                           for s in self.shards) == before:
+                        break  # only blocked shards; sweep resolves
             # Final per-shard sweep: heal stragglers (blocked shards,
             # admin backlog) and audit end to end.
             sweep_at = self.clock.now
@@ -393,21 +556,28 @@ class FleetControlPlane:
             def sweep(shard: TenantShard) -> None:
                 shard.sweep(sweep_at)
 
-            pool.map(sweep, self.shards)
-        self._harvest_serial()
-        return FleetReport(
-            config=cfg,
-            health=self.health(),
-            ticks=self._ticks,
-            attacks=sum(s.attacks for s in self.shards),
-            alerts_accepted=sum(
-                s.system.alert_queue.accepted for s in self.shards
-            ),
-            alerts_lost=sum(s.alerts_lost for s in self.shards),
-            scans=sum(s.scans for s in self.shards),
-            heals=sum(s.heals for s in self.shards),
-            central_deferrals=self._deferrals,
-        )
+            with (prof.phase("sweep") if prof is not None
+                  else nullcontext()):
+                pool.map(sweep, self.shards)
+        # Final rollup: harvest, shard-profile fold, health freeze.
+        with (prof.phase("rollup") if prof is not None
+              else nullcontext()):
+            self._harvest_serial()
+            if prof is not None:
+                self._fold_shard_profiles()
+            return FleetReport(
+                config=cfg,
+                health=self.health(),
+                ticks=self._ticks,
+                attacks=sum(s.attacks for s in self.shards),
+                alerts_accepted=sum(
+                    s.system.alert_queue.accepted for s in self.shards
+                ),
+                alerts_lost=sum(s.alerts_lost for s in self.shards),
+                scans=sum(s.scans for s in self.shards),
+                heals=sum(s.heals for s in self.shards),
+                central_deferrals=self._deferrals,
+            )
 
     # -- live health -------------------------------------------------------
 
@@ -421,6 +591,7 @@ class FleetControlPlane:
             heals=shard.heals,
             audits_ok=shard.audits_ok,
             latencies=tuple(shard.latencies),
+            strategy=shard.profile.strategy.value,
         )
 
     def health(self) -> FleetHealth:

@@ -30,12 +30,16 @@ from __future__ import annotations
 import random
 from typing import Dict, List
 
+from contextlib import nullcontext
+from typing import Optional
+
 from repro.core.epochs import EpochManager
 from repro.errors import RecoveryError
 from repro.fleet.workload import TenantProfile, prediction_for
 from repro.ids.alerts import Alert
 from repro.obs.events import EventBus, HealStarted
 from repro.obs.health import HealthMonitor, SloState
+from repro.obs.perf import PhaseProfiler
 from repro.obs.tracing import ManualClock
 from repro.system import SelfHealingSystem
 from repro.workflow.data import DataStore
@@ -61,14 +65,25 @@ class TenantShard:
     seed:
         Per-tenant RNG seed — the attack process is a pure function of
         ``(profile, seed)``, independent of every other tenant.
+    profiled:
+        When true, the shard owns a private
+        :class:`~repro.obs.perf.PhaseProfiler` (``sim_clock`` = the
+        shard clock) that its pipeline phases accumulate into.  The
+        profiler is as single-owner as the shard itself: the control
+        plane's phase discipline guarantees at most one thread drives
+        a shard at a time, and the fleet profiler folds shard stats in
+        serially at harvest.
     """
 
     def __init__(self, tenant: str, profile: TenantProfile,
-                 seed: int) -> None:
+                 seed: int, profiled: bool = False) -> None:
         self.tenant = tenant
         self.profile = profile
         self.clock = ManualClock(0.0)
         self.bus = EventBus()
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler(sim_clock=self.clock) if profiled else None
+        )
         initial = dict(profile.initial_data)
         self.manager = EpochManager(DataStore(initial), initial)
         self.system = SelfHealingSystem(
@@ -77,9 +92,11 @@ class TenantShard:
             recovery_buffer=profile.recovery_buffer,
             bus=self.bus,
             clock=self.clock,
+            profiler=self.profiler,
         )
         self.monitor = HealthMonitor(
-            prediction_for(profile), config=profile.health_config,
+            prediction_for(profile),
+            config=profile.effective_health_config(),
         ).attach(self.bus)
         self._rng = random.Random(seed)
         self._next_arrival = (
@@ -133,6 +150,14 @@ class TenantShard:
         queued for the administrator backlog.
         """
         accepted: List[Alert] = []
+        prof = self.profiler
+        with (prof.phase("detect") if prof is not None
+              else nullcontext()):
+            self._ingest_into(accepted, until)
+        return accepted
+
+    def _ingest_into(self, accepted: List[Alert],
+                     until: float) -> None:
         while (self._next_arrival is not None
                and self._next_arrival <= until):
             arrival = self._next_arrival
@@ -155,7 +180,6 @@ class TenantShard:
                 accepted.append(alert)
             else:
                 self._admin_backlog.append(uid)
-        return accepted
 
     # -- parallel phase ----------------------------------------------------
 
@@ -237,12 +261,17 @@ class TenantShard:
                 # Only lost-alert reports remain: a dedicated
                 # administrator heal commits them (and rolls the epoch).
                 backlog = tuple(self._admin_backlog)
-                self.manager.heal(backlog, bus=self.bus,
-                                  clock=self.clock, bracket=True)
+                with (self.profiler.phase("heal")
+                      if self.profiler is not None else nullcontext()):
+                    self.manager.heal(backlog, bus=self.bus,
+                                      clock=self.clock, bracket=True,
+                                      profiler=self.profiler)
                 del self._admin_backlog[:len(backlog)]
                 self.heals += 1
         # Close the monitored trace: unresolved LTLf obligations (an
         # undo decided but never executed, a heal never finished) become
         # conformance violations in the tenant's final verdict.
         self.monitor.finalize()
-        self.audits_ok = self.manager.audit().ok
+        with (self.profiler.phase("audit")
+              if self.profiler is not None else nullcontext()):
+            self.audits_ok = self.manager.audit().ok

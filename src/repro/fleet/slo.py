@@ -59,6 +59,11 @@ class TenantVerdict:
     heals: int = 0
     audits_ok: bool = True
     latencies: Tuple[float, ...] = ()
+    #: The Section III-D strategy whose conformance property pack
+    #: judged this tenant (``"strict"`` unless the tenant profile
+    #: selected otherwise) — the fleet rollup surfaces it so mixed
+    #: fleets stay auditable per tenant.
+    strategy: str = "strict"
 
     @property
     def conformance(self) -> SloState:
@@ -74,6 +79,7 @@ class TenantVerdict:
         return {
             "tenant": self.tenant,
             "verdict": self.verdict.value,
+            "strategy": self.strategy,
             "conformance": self.conformance.value,
             "violations": self.report.violations,
             "attacks": self.attacks,
@@ -110,6 +116,15 @@ class FleetHealth:
         return counts
 
     @property
+    def by_strategy(self) -> Dict[str, int]:
+        """Tenant count per conformance strategy — how many tenants
+        are judged by the strict pack vs a relaxed one."""
+        counts: Dict[str, int] = {}
+        for t in self.tenants:
+            counts[t.strategy] = counts.get(t.strategy, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
     def merged(self) -> ConformanceReport:
         """All tenants' conformance counts merged into one report."""
         return merge_conformance([t.report for t in self.tenants])
@@ -141,6 +156,7 @@ class FleetHealth:
             "tenants": len(self.tenants),
             "verdict": self.verdict.value,
             "by_state": self.by_state,
+            "by_strategy": self.by_strategy,
             "alerts": self.merged.arrivals,
             "losses": self.merged.losses,
             "loss_fraction": self.merged.loss_fraction,

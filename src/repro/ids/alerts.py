@@ -33,6 +33,7 @@ from typing import (
 
 from repro.errors import QueueFullError
 from repro.obs.events import EventBus, QueueItemDropped
+from repro.obs.perf import bump as perf_bump
 
 __all__ = ["Alert", "BoundedQueue", "PriorityBoundedQueue"]
 
@@ -182,6 +183,7 @@ class BoundedQueue(Generic[T]):
     def _note_lost(self, item: T) -> None:
         """Account one rejected (or evicted) item and publish its drop."""
         self._lost += 1
+        perf_bump("queue_evictions")
         if self._bus is not None and self._clock is not None:
             self._bus.publish(QueueItemDropped(
                 self._clock(), queue=self._name,

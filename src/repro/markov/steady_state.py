@@ -72,6 +72,10 @@ def steady_state(chain: Union[CTMC, np.ndarray],
     numpy.ndarray
         The stationary distribution, in the chain's state order.
     """
+    # Deferred import: repro.obs's package init reaches back into the
+    # core/markov layers, so binding at module import would cycle.
+    from repro.obs.perf import bump
+    bump("ctmc_solver_calls")
     if isinstance(chain, CTMC):
         n = chain.n_states
     else:

@@ -34,8 +34,14 @@ This package provides the measurement layer:
   predictions, drives OK/WARN/BREACH SLOs, emits typed
   drift/SLO-transition events, and merges per-replication
   conformance reports deterministically;
+- :mod:`repro.obs.perf` — wall-clock profiling and end-to-end latency
+  attribution: :class:`PhaseProfiler` decomposes a run into attributed
+  phases (dual sim/wall clocks, deterministic breakdown structure) and
+  global cost-driver counters count CTMC solves, closure
+  recomputations, pickle bytes, and queue evictions;
 - :mod:`repro.obs.server` — a stdlib-only HTTP telemetry endpoint
-  (``/metrics`` Prometheus text, ``/healthz``, ``/slo`` JSON);
+  (``/metrics`` Prometheus text, ``/healthz``, ``/slo`` JSON,
+  ``/profile`` attribution breakdowns);
 - :mod:`repro.obs.runner` — instrumented end-to-end scenario drivers
   behind the ``repro-workflow obs`` CLI subcommand.
 
@@ -82,6 +88,8 @@ from repro.obs.health import (
 from repro.obs.export import (
     events_to_jsonl,
     metrics_table,
+    profile_to_chrome_trace,
+    profile_to_collapsed,
     render_prometheus,
     spans_to_chrome_trace,
 )
@@ -92,11 +100,22 @@ from repro.obs.metrics import (
     MetricsRegistry,
     PipelineMetrics,
 )
+from repro.obs.perf import (
+    PHASES,
+    PROFILE_WALL_BUCKETS,
+    PhaseProfiler,
+    PhaseSink,
+    ProfileReport,
+    bump,
+    counter_snapshot,
+    reset_counters,
+)
 from repro.obs.provenance import ReplayedRun, build_span_tree, explain, replay
 from repro.obs.recorder import (
     SCHEMA_VERSION,
     FlightLog,
     FlightRecorder,
+    canonical_text,
     load_flight_log,
     read_flight_log,
 )
@@ -150,8 +169,18 @@ __all__ = [
     "SCHEMA_VERSION",
     "FlightRecorder",
     "FlightLog",
+    "canonical_text",
     "read_flight_log",
     "load_flight_log",
+    # perf
+    "PHASES",
+    "PROFILE_WALL_BUCKETS",
+    "PhaseProfiler",
+    "PhaseSink",
+    "ProfileReport",
+    "bump",
+    "counter_snapshot",
+    "reset_counters",
     # provenance
     "ReplayedRun",
     "replay",
@@ -161,6 +190,8 @@ __all__ = [
     "events_to_jsonl",
     "render_prometheus",
     "metrics_table",
+    "profile_to_chrome_trace",
+    "profile_to_collapsed",
     "spans_to_chrome_trace",
     # windows
     "SlidingWindow",

@@ -42,6 +42,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.strategies import RecoveryStrategy
 from repro.errors import ObsError
 from repro.obs.events import (
     ActionDispatched,
@@ -362,6 +363,13 @@ class HealthConfig:
     #: is cheap (a handful of automaton steps per event) and silent on
     #: honest runs.
     conformance: bool = True
+    #: Which Section III-D strategy's property pack the conformance
+    #: monitor runs (:func:`repro.obs.monitor.strict_property_pack`):
+    #: ``RISK_NORMAL_ONLY`` relaxes ``task-within-heal``, whose heal
+    #: bracketing multi-version re-repairs legitimately break.  The
+    #: fleet selects this per tenant via the tenant profile's health
+    #: config.
+    strategy: RecoveryStrategy = RecoveryStrategy.STRICT
 
     def resolved_loss_objective(self, prediction: ModelPrediction) -> float:
         """The loss SLO target: explicit when set, else three times the
@@ -496,7 +504,8 @@ class HealthMonitor:
         }
         #: LTLf strict-correctness monitor (None when disabled).
         self.conformance: Optional[ConformanceMonitor] = (
-            ConformanceMonitor() if cfg.conformance else None
+            ConformanceMonitor(strategy=cfg.strategy)
+            if cfg.conformance else None
         )
         if self.conformance is not None:
             self.slos["conformance"] = Slo(SloSpec(

@@ -93,6 +93,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.strategies import RecoveryStrategy
 from repro.obs.events import (
     ActionDispatched,
     ConformanceViolation,
@@ -951,7 +952,9 @@ class _OrderConsistency(SlicedLtlProperty):
         return (), ()
 
 
-def strict_property_pack() -> List[Any]:
+def strict_property_pack(
+    strategy: RecoveryStrategy = RecoveryStrategy.STRICT,
+) -> List[Any]:
     """The Definition 2 property pack (one fresh instance per monitor).
 
     ==========================  ============================================
@@ -969,8 +972,21 @@ def strict_property_pack() -> List[Any]:
     claim-consistency           per scan window: ``G ¬missing ∧
                                 G ¬unjustified``
     ==========================  ============================================
+
+    The pack is parameterized by the operational
+    :class:`~repro.core.strategies.RecoveryStrategy` (Section III-D).
+    Under ``RISK_NORMAL_ONLY`` the multi-version store lets normal
+    tasks run during damage analysis, and tasks executed on stale
+    snapshots are legitimately re-repaired *outside* the heal bracket
+    that planned them — so ``task-within-heal`` (whose atoms cannot
+    tell a bracketed repair from a later multi-version re-repair) is
+    relaxed out of the pack.  Every other Definition 2 obligation —
+    bracket alternation, per-uid lifecycle, dispatch order, claim
+    consistency — still holds verbatim, because recovery itself stays
+    correct under that strategy.  ``STRICT`` and ``RISK_ALL`` run the
+    full pack.
     """
-    return [
+    pack: List[Any] = [
         _heal_alternation(),
         _task_within_heal(),
         _normal_refusal(),
@@ -980,6 +996,9 @@ def strict_property_pack() -> List[Any]:
         _OrderConsistency(),
         ClaimConsistencyProperty(),
     ]
+    if strategy is RecoveryStrategy.RISK_NORMAL_ONLY:
+        pack = [p for p in pack if p.name != "task-within-heal"]
+    return pack
 
 
 # --------------------------------------------------------------------------
@@ -1013,8 +1032,13 @@ class ConformanceMonitor:
         ActionDispatched, UnitEmitted,
     )
 
-    def __init__(self) -> None:
-        self.properties = strict_property_pack()
+    def __init__(
+        self, strategy: RecoveryStrategy = RecoveryStrategy.STRICT,
+    ) -> None:
+        #: The operational strategy whose property pack this monitor
+        #: runs (see :func:`strict_property_pack`).
+        self.strategy = strategy
+        self.properties = strict_property_pack(strategy)
         self.violations: List[ConformanceViolation] = []
         self.now = 0.0
         self.events_seen = 0
@@ -1101,6 +1125,7 @@ class ConformanceMonitor:
             if slices is not None:
                 pending += len(slices)
         return {
+            "strategy": self.strategy.value,
             "violations": self.violation_count,
             "by_property": dict(sorted(by_property.items())),
             "pending_obligations": pending,
@@ -1110,7 +1135,8 @@ class ConformanceMonitor:
 
 
 def replay_conformance(
-    events: Sequence[ObsEvent], finalize: bool = True
+    events: Sequence[ObsEvent], finalize: bool = True,
+    strategy: RecoveryStrategy = RecoveryStrategy.STRICT,
 ) -> ConformanceMonitor:
     """Re-derive conformance verdicts offline from recorded events.
 
@@ -1121,9 +1147,11 @@ def replay_conformance(
     optionally finalizes.  Because the monitor is a pure function of
     the event sequence, the replayed violation stream equals the online
     one exactly — compare :attr:`ConformanceMonitor.violations` against
-    the recorded events to pin replay identity.
+    the recorded events to pin replay identity.  Replay with the same
+    ``strategy`` the run was monitored under, or the property packs
+    (and hence the verdicts) differ by construction.
     """
-    monitor = ConformanceMonitor()
+    monitor = ConformanceMonitor(strategy=strategy)
     for event in events:
         if isinstance(event, ConformanceViolation):
             continue

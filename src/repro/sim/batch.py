@@ -21,12 +21,28 @@ batch equal the seeds of an ``m``-replication batch.
 so ``workers=K`` reproduces ``workers=1`` bit-exactly — parallelism
 buys wall-clock time, never different answers.  With ``workers=1`` no
 pool (and no subprocess) is created at all.
+
+Parallelism *should* buy wall-clock time — measured, at small
+replication counts, it often does not (ROADMAP item 2a: speedups of
+0.61–0.83 at the benchmark's shape).  The batch results therefore
+carry the accounting that explains the gap: per-replication in-worker
+wall times, the :attr:`~FullStackBatchResult.fan_out_overhead` spent
+outside any worker's compute (process spawn, task pickling, IPC), a
+:attr:`~FullStackBatchResult.speedup` estimate, and — when a parallel
+run is slower than its own serial work — a loud
+:class:`ParallelSlowdownWarning` plus the
+:attr:`~FullStackBatchResult.speedup_lt_1` flag.  Under a
+:class:`~repro.obs.perf.PhaseProfiler` the same quantities appear as
+``batch.worker`` / ``batch.spawn`` / ``batch.fan-out`` phases and the
+``pickle_bytes`` cost-driver counter.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -41,6 +57,7 @@ from repro.obs.health import (
     ModelPrediction,
     merge_conformance,
 )
+from repro.obs.perf import PhaseProfiler, bump as perf_bump
 from repro.sim import ctmc_sim, fullstack
 from repro.sim.ctmc_sim import GillespieResult
 from repro.sim.fullstack import FullStackConfig, FullStackResult
@@ -48,11 +65,52 @@ from repro.sim.fullstack import FullStackConfig, FullStackResult
 __all__ = [
     "spawn_seeds",
     "default_workers",
+    "ParallelSlowdownWarning",
     "GillespieBatchResult",
     "FullStackBatchResult",
     "run_gillespie_batch",
     "run_fullstack_batch",
 ]
+
+
+class ParallelSlowdownWarning(UserWarning):
+    """A parallel batch ran slower than its own serial work.
+
+    Structured: the numbers behind the verdict ride on the instance so
+    handlers can do better than parse the message.
+
+    Attributes
+    ----------
+    workers, replications:
+        Fan-out shape of the offending batch.
+    elapsed, worker_wall:
+        Whole-batch wall seconds vs. the sum of in-worker compute
+        seconds.
+    speedup:
+        ``worker_wall / elapsed`` — below 1.0 by construction here.
+    fan_out_overhead:
+        Seconds not explained by perfectly-parallel compute: process
+        spawn, task pickling, IPC, result collection.
+    """
+
+    def __init__(self, workers: int, replications: int, elapsed: float,
+                 worker_wall: float, speedup: float,
+                 fan_out_overhead: float) -> None:
+        self.workers = workers
+        self.replications = replications
+        self.elapsed = elapsed
+        self.worker_wall = worker_wall
+        self.speedup = speedup
+        self.fan_out_overhead = fan_out_overhead
+        super().__init__(
+            f"parallel batch slower than its own serial work: "
+            f"speedup={speedup:.2f} (<1) with workers={workers}, "
+            f"replications={replications} — elapsed {elapsed:.3f}s vs "
+            f"{worker_wall:.3f}s of in-worker compute; "
+            f"{fan_out_overhead:.3f}s of fan-out overhead (process "
+            f"spawn, pickling, IPC).  Use workers=1 at this shape, or "
+            f"raise replications/horizon until compute dominates."
+        )
 
 
 def spawn_seeds(base_seed: int, n: int) -> List[int]:
@@ -106,12 +164,14 @@ def _timed_fullstack(
     record_path: Optional[str] = None,
     health: Optional[ModelPrediction] = None,
     health_config: Optional[HealthConfig] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> Tuple[FullStackResult, float]:
     t0 = time.perf_counter()  # lint: allow[DET001] host benchmark timing, not simulated time
     result = fullstack.run_replication(config, horizon, seed,
                                        record_path=record_path,
                                        health=health,
-                                       health_config=health_config)
+                                       health_config=health_config,
+                                       profiler=profiler)
     return result, time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
 
 
@@ -119,19 +179,74 @@ def _fan_out(
     worker: Callable,
     tasks: Sequence[tuple],
     workers: int,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> List[tuple]:
     """Run ``worker(*task)`` for every task, preserving order.
 
     ``workers == 1`` runs inline — no pool, no subprocess; otherwise a
     process pool executes the tasks and results are gathered in
     submission order (determinism over opportunistic completion order).
+
+    With ``profiler``: inline runs wrap each worker call in a
+    ``batch.worker`` phase (so a replication's own phases nest under
+    it); pooled runs count the task payload into the ``pickle_bytes``
+    cost driver and record pool construction as ``batch.spawn`` —
+    the in-worker/overhead split for pooled runs comes from the
+    caller, which knows the per-replication wall times.
     """
     if workers == 1:
-        return [worker(*task) for task in tasks]
+        if profiler is None:
+            return [worker(*task) for task in tasks]
+        out = []
+        for task in tasks:
+            with profiler.phase("batch.worker"):
+                out.append(worker(*task))
+        return out
     pool_size = min(workers, len(tasks))
+    if profiler is not None:
+        # What the pool is about to pickle over the pipe, measured
+        # up front (the double dumps() is noise next to the spawn).
+        perf_bump("pickle_bytes",
+                  sum(len(pickle.dumps(task)) for task in tasks))
+    t0 = time.perf_counter()  # lint: allow[DET001] host benchmark timing, not simulated time
     with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        spawn = time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
         futures = [pool.submit(worker, *task) for task in tasks]
-        return [f.result() for f in futures]
+        results = [f.result() for f in futures]
+    if profiler is not None:
+        profiler.add_at(("batch.spawn",), spawn, calls=1)
+    return results
+
+
+def _account_fan_out(batch, profiler: Optional[PhaseProfiler]) -> None:
+    """Post-run fan-out accounting shared by both batch kinds.
+
+    Computes :attr:`~FullStackBatchResult.fan_out_overhead` (pooled
+    runs only), mirrors the in-worker/overhead split into the profiler
+    as ``batch.worker`` / ``batch.fan-out`` phases, and issues the
+    :class:`ParallelSlowdownWarning` when the batch's
+    ``speedup_lt_1`` flag trips."""
+    worker_wall = sum(batch.wall_times)
+    if batch.workers > 1:
+        # A perfectly packed pool would finish in worker_wall/workers;
+        # everything beyond that is fan-out overhead — spawn, pickle,
+        # IPC, result collection (ROADMAP item 2a's measured gap).
+        ideal = worker_wall / batch.workers
+        batch.fan_out_overhead = max(batch.elapsed - ideal, 0.0)
+        if profiler is not None:
+            profiler.add_at(("batch.worker",), worker_wall,
+                            calls=batch.replications)
+            profiler.add_at(("batch.fan-out",),
+                            batch.fan_out_overhead, calls=1)
+    if batch.speedup_lt_1:
+        warnings.warn(ParallelSlowdownWarning(
+            workers=batch.workers,
+            replications=batch.replications,
+            elapsed=batch.elapsed,
+            worker_wall=worker_wall,
+            speedup=batch.speedup,
+            fan_out_overhead=batch.fan_out_overhead,
+        ), stacklevel=3)
 
 
 def _mean_and_stderr(values: Sequence[float]) -> Tuple[float, float]:
@@ -160,6 +275,10 @@ class GillespieBatchResult:
         worker).
     elapsed:
         Wall-clock seconds for the whole batch, pool overhead included.
+    fan_out_overhead:
+        Pooled runs only: seconds beyond a perfectly packed pool's
+        ``sum(wall_times)/workers`` — spawn, pickling, IPC.  Zero for
+        inline runs.
     """
 
     results: List[GillespieResult]
@@ -168,11 +287,28 @@ class GillespieBatchResult:
     workers: int
     wall_times: List[float] = field(default_factory=list)
     elapsed: float = 0.0
+    fan_out_overhead: float = 0.0
 
     @property
     def replications(self) -> int:
         """Number of replications merged."""
         return len(self.results)
+
+    @property
+    def speedup(self) -> float:
+        """In-worker compute seconds over whole-batch elapsed seconds —
+        the honest "did parallelism pay" estimate (1.0 ≈ break-even
+        with serial, below 1.0 means the pool made things *slower*)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return sum(self.wall_times) / self.elapsed
+
+    @property
+    def speedup_lt_1(self) -> bool:
+        """True when a pooled run was slower than its own serial work
+        (the ROADMAP item 2a embarrassment, flagged loudly)."""
+        return (self.workers > 1 and bool(self.wall_times)
+                and self.speedup < 1.0)
 
     @property
     def occupancy(self) -> Dict[State, float]:
@@ -249,7 +385,12 @@ class GillespieBatchResult:
 
 @dataclass
 class FullStackBatchResult:
-    """Merged statistics over ``n`` full-stack replications."""
+    """Merged statistics over ``n`` full-stack replications.
+
+    Carries the same fan-out accounting as
+    :class:`GillespieBatchResult`: ``wall_times`` / ``elapsed`` /
+    ``fan_out_overhead`` and the ``speedup`` / ``speedup_lt_1``
+    verdict."""
 
     results: List[FullStackResult]
     seeds: List[int]
@@ -257,11 +398,27 @@ class FullStackBatchResult:
     workers: int
     wall_times: List[float] = field(default_factory=list)
     elapsed: float = 0.0
+    fan_out_overhead: float = 0.0
 
     @property
     def replications(self) -> int:
         """Number of replications merged."""
         return len(self.results)
+
+    @property
+    def speedup(self) -> float:
+        """In-worker compute seconds over whole-batch elapsed seconds
+        (see :attr:`GillespieBatchResult.speedup`)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return sum(self.wall_times) / self.elapsed
+
+    @property
+    def speedup_lt_1(self) -> bool:
+        """True when a pooled run was slower than its own serial
+        work."""
+        return (self.workers > 1 and bool(self.wall_times)
+                and self.speedup < 1.0)
 
     @property
     def category_occupancy(self) -> Dict[StateCategory, float]:
@@ -327,6 +484,7 @@ def run_gillespie_batch(
     start: Optional[State] = None,
     health: Optional[ModelPrediction] = None,
     health_config: Optional[HealthConfig] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> GillespieBatchResult:
     """Run ``replications`` independent Gillespie trajectories.
 
@@ -352,6 +510,12 @@ def run_gillespie_batch(
         :attr:`~GillespieBatchResult.conformance` merges the
         per-replication verdicts (both are plain picklable data, so
         they fan out to workers like the STG does).
+    profiler:
+        Optional started :class:`~repro.obs.perf.PhaseProfiler`; the
+        batch records its ``batch.worker`` / ``batch.spawn`` /
+        ``batch.fan-out`` split into it (profilers never cross the
+        process boundary — pooled workers run unprofiled and report
+        wall times instead).
 
     Raises
     ------
@@ -366,9 +530,10 @@ def run_gillespie_batch(
         [(stg, horizon, s, start, health, health_config)
          for s in seeds],
         workers,
+        profiler=profiler,
     )
     elapsed = time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
-    return GillespieBatchResult(
+    batch = GillespieBatchResult(
         results=[r for r, _ in outcomes],
         seeds=seeds,
         horizon=horizon,
@@ -376,6 +541,8 @@ def run_gillespie_batch(
         wall_times=[w for _, w in outcomes],
         elapsed=elapsed,
     )
+    _account_fan_out(batch, profiler)
+    return batch
 
 
 def run_fullstack_batch(
@@ -387,10 +554,12 @@ def run_fullstack_batch(
     record_dir: Optional[str] = None,
     health: Optional[ModelPrediction] = None,
     health_config: Optional[HealthConfig] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> FullStackBatchResult:
     """Run ``replications`` independent full-stack simulations; same
     contract as :func:`run_gillespie_batch` (including the optional
-    ``health`` monitoring and merged conformance verdict).
+    ``health`` monitoring, merged conformance verdict, and ``profiler``
+    fan-out accounting).
 
     With ``record_dir``, every replication writes a flight-recorder log
     to ``<record_dir>/rep-NNNN.jsonl`` (seed and config in the header).
@@ -398,6 +567,12 @@ def run_fullstack_batch(
     results — are bit-identical across worker counts; with ``health``
     the logs additionally contain each replication's SloTransition /
     DriftDetected verdict events.
+
+    One full-stack extra over the Gillespie batch: at ``workers=1``
+    the profiler rides *into* each inline replication, so the deep
+    pipeline phases (detect/analyze/heal/…) appear nested under
+    ``batch.worker``.  Pooled replications run unprofiled — a profiler
+    cannot cross the process boundary.
     """
     _validate(replications, workers, horizon)
     seeds = spawn_seeds(seed, replications)
@@ -408,15 +583,17 @@ def run_fullstack_batch(
             os.path.join(record_dir, f"rep-{i:04d}.jsonl")
             for i in range(replications)
         ]
+    inline_prof = profiler if workers == 1 else None
     t0 = time.perf_counter()  # lint: allow[DET001] host benchmark timing, not simulated time
     outcomes = _fan_out(
         _timed_fullstack,
-        [(config, horizon, s, p, health, health_config)
+        [(config, horizon, s, p, health, health_config, inline_prof)
          for s, p in zip(seeds, record_paths)],
         workers,
+        profiler=profiler,
     )
     elapsed = time.perf_counter() - t0  # lint: allow[DET001] host benchmark timing, not simulated time
-    return FullStackBatchResult(
+    batch = FullStackBatchResult(
         results=[r for r, _ in outcomes],
         seeds=seeds,
         horizon=horizon,
@@ -424,3 +601,5 @@ def run_fullstack_batch(
         wall_times=[w for _, w in outcomes],
         elapsed=elapsed,
     )
+    _account_fan_out(batch, profiler)
+    return batch

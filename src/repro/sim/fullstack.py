@@ -29,6 +29,7 @@ proof that the system stayed strictly correct throughout the run.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -53,6 +54,7 @@ from repro.obs.health import (
     HealthMonitor,
     ModelPrediction,
 )
+from repro.obs.perf import PhaseProfiler
 from repro.sim.simulator import Simulator
 from repro.workflow.data import DataStore
 from repro.workflow.spec import WorkflowSpec, workflow
@@ -73,6 +75,7 @@ def run_replication(
     record_path: Optional[str] = None,
     health: Optional[ModelPrediction] = None,
     health_config: Optional[HealthConfig] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> "FullStackResult":
     """One seeded full-stack replication.
 
@@ -90,6 +93,10 @@ def run_replication(
     each SloTransition/DriftDetected right after the event that caused
     it — which is what lets ``obs replay`` reproduce the verdict
     sequence bit for bit.
+
+    With ``profiler``, the run's phases accumulate into the caller's
+    started :class:`~repro.obs.perf.PhaseProfiler` (see
+    :class:`FullStackSimulator`).
     """
     from dataclasses import asdict
 
@@ -111,7 +118,8 @@ def run_replication(
         monitor = HealthMonitor(health, config=health_config).attach(bus)
     try:
         result = FullStackSimulator(config, random.Random(seed),
-                                    bus=bus).run(horizon)
+                                    bus=bus,
+                                    profiler=profiler).run(horizon)
         if recorder is not None:
             recorder.mark("finalize", horizon)
     finally:
@@ -244,6 +252,13 @@ class FullStackSimulator:
         analyzer), unit emissions, NORMAL/SCAN/RECOVERY transitions,
         and heal lifecycles including per-task undo/redo from the real
         healer.  ``None`` (default) adds no observable cost.
+    profiler:
+        Optional :class:`repro.obs.perf.PhaseProfiler` (started by the
+        caller); when given, every event-loop callback runs inside an
+        attributed phase — detect / buffer-wait / analyze (with the
+        analyzer's closure/plan/verify split) / schedule / heal (with
+        the healer's undo/settle/reconcile split) / audit — in wall
+        time *and* simulated time.
     """
 
     def __init__(
@@ -251,10 +266,12 @@ class FullStackSimulator:
         config: Optional[FullStackConfig] = None,
         rng: Optional[random.Random] = None,
         bus: Optional[EventBus] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         self._config = config if config is not None else FullStackConfig()
         self._rng = rng if rng is not None else random.Random(0)
         self._bus = bus
+        self._profiler = profiler
 
     def run(self, horizon: float) -> FullStackResult:
         """Simulate ``[0, horizon]``; remaining damage is healed in a
@@ -264,7 +281,14 @@ class FullStackSimulator:
         cfg, rng = self._config, self._rng
         bus = self._bus if self._bus is not None and self._bus.active \
             else None
+        prof = self._profiler
         sim = Simulator()
+
+        #: uid → arrival time of accepted alerts (buffer-wait dwell).
+        enqueued_at: Dict[str, float] = {}
+        #: Simulated duration of the service that just completed, set at
+        #: dispatch — the sim-time side of the analyze/heal phases.
+        pending_service = {"scan": 0.0, "recovery": 0.0}
 
         initial = {"balance": 100}
         manager = EpochManager(DataStore(initial), initial)
@@ -327,10 +351,15 @@ class FullStackSimulator:
             now = min(sim.now, horizon)
             if bus is not None:
                 bus.publish(HealStarted(now, malicious=tuple(uids)))
-            report = manager.heal(uids, bus=bus, clock=lambda: now)
+            with (prof.phase("heal") if prof is not None
+                  else nullcontext()):
+                report = manager.heal(uids, bus=bus, clock=lambda: now,
+                                      profiler=prof)
             heals += 1
             repaired += len(report.undone)
-            audits_ok = audits_ok and manager.audit().ok
+            with (prof.phase("audit") if prof is not None
+                  else nullcontext()):
+                audits_ok = audits_ok and manager.audit().ok
             if bus is not None:
                 bus.publish(HealFinished(
                     now,
@@ -350,88 +379,137 @@ class FullStackSimulator:
             if alert_queue and not blocked:
                 scanning = True
                 duration = cfg.scan_time * (1 + len(unit_queue))
+                pending_service["scan"] = duration
                 sim.schedule(duration, scan_done, "scan")
             elif unit_queue and (not alert_queue or blocked):
                 recovering = True
                 duration = cfg.unit_recovery_time * len(unit_queue)
+                pending_service["recovery"] = duration
                 sim.schedule(duration, recovery_done, "recovery")
             elif not alert_queue and not unit_queue:
                 commit_repairs()  # quiescent: repairs take effect
 
         def attack() -> None:
+            # Whole body under "detect": the attacked run, the alert
+            # admission decision and the (cheap) dispatch.  dispatch()
+            # cannot reach commit_repairs here — the alert queue is
+            # never empty after an arrival — so heal/audit stay
+            # top-level phases.
             nonlocal attacks, alerts_lost
-            account()
-            attacks += 1
-            name = f"atk{attacks}"
-            campaign = AttackCampaign().transform_task(
-                "apply",
-                lambda i, o: {
-                    k: (v + 5000 if k == "balance" else v)
-                    for k, v in o.items()
-                },
-                workflow_instance=name,
-            )
-            manager.run_workflow_attacked(
-                _victim_spec(name), campaign, name=name
-            )
-            uid = campaign.malicious_uids[0]
-            if len(alert_queue) >= cfg.alert_buffer:
-                alerts_lost += 1
-                lost_backlog.append(uid)
-                if bus is not None:
-                    bus.publish(AlertLost(
-                        min(sim.now, horizon), uid=uid,
-                        queue_depth=len(alert_queue),
-                    ))
-            else:
-                alert_queue.append(uid)
-                if bus is not None:
-                    bus.publish(AlertEnqueued(
-                        min(sim.now, horizon), uid=uid,
-                        queue_depth=len(alert_queue),
-                    ))
-            sim.schedule(rng.expovariate(cfg.arrival_rate), attack,
-                         "attack")
-            dispatch()
-            note_state()
+            with (prof.phase("detect") if prof is not None
+                  else nullcontext()):
+                account()
+                attacks += 1
+                name = f"atk{attacks}"
+                campaign = AttackCampaign().transform_task(
+                    "apply",
+                    lambda i, o: {
+                        k: (v + 5000 if k == "balance" else v)
+                        for k, v in o.items()
+                    },
+                    workflow_instance=name,
+                )
+                manager.run_workflow_attacked(
+                    _victim_spec(name), campaign, name=name
+                )
+                uid = campaign.malicious_uids[0]
+                if len(alert_queue) >= cfg.alert_buffer:
+                    alerts_lost += 1
+                    lost_backlog.append(uid)
+                    if bus is not None:
+                        bus.publish(AlertLost(
+                            min(sim.now, horizon), uid=uid,
+                            queue_depth=len(alert_queue),
+                        ))
+                else:
+                    alert_queue.append(uid)
+                    enqueued_at[uid] = min(sim.now, horizon)
+                    if bus is not None:
+                        bus.publish(AlertEnqueued(
+                            min(sim.now, horizon), uid=uid,
+                            queue_depth=len(alert_queue),
+                        ))
+                sim.schedule(rng.expovariate(cfg.arrival_rate), attack,
+                             "attack")
+                dispatch()
+                note_state()
 
         def scan_done() -> None:
+            # Whole body under "analyze" (the closure/plan split comes
+            # from the analyzer's own sub-phases).  dispatch() cannot
+            # commit here — the unit queue is never empty after the
+            # plan is appended.
             nonlocal scanning
-            account()
-            scanning = False
-            uid = alert_queue.pop(0)
-            now = min(sim.now, horizon)
-            analyzer = RecoveryAnalyzer(
-                manager.log, manager.specs_by_instance,
-                bus=bus, clock=lambda: now,
-            )
-            plan = analyzer.analyze([uid], outstanding=list(unit_queue))
-            unit_queue.append(plan)
-            if bus is not None:
-                bus.publish(UnitEmitted(
-                    now, units=plan.units, queue_depth=len(unit_queue),
-                ))
-            dispatch()
-            note_state()
+            if prof is not None:
+                # Recorded before the phase opens so both land beside
+                # (not inside) "analyze", at whatever stack depth this
+                # run executes — top level standalone, under
+                # "batch.worker" in an inline batch.  Sim-time only:
+                # wall stays zero, so attribution is undistorted.
+                dwell_now = min(sim.now, horizon)
+                queued_at = enqueued_at.pop(alert_queue[0], None)
+                if queued_at is not None:
+                    prof.add_external("buffer-wait", 0.0,
+                                      sim=dwell_now - queued_at)
+                # The scan service's simulated duration is the analyze
+                # phase's sim-time side.
+                prof.add_external("analyze", 0.0,
+                                  sim=pending_service["scan"], calls=0)
+            with (prof.phase("analyze") if prof is not None
+                  else nullcontext()):
+                account()
+                scanning = False
+                uid = alert_queue.pop(0)
+                now = min(sim.now, horizon)
+                analyzer = RecoveryAnalyzer(
+                    manager.log, manager.specs_by_instance,
+                    bus=bus, clock=lambda: now, profiler=prof,
+                )
+                plan = analyzer.analyze([uid],
+                                        outstanding=list(unit_queue))
+                unit_queue.append(plan)
+                if bus is not None:
+                    bus.publish(UnitEmitted(
+                        now, units=plan.units,
+                        queue_depth=len(unit_queue),
+                    ))
+                dispatch()
+                note_state()
 
         def recovery_done() -> None:
+            # The drain itself is "schedule"; dispatch() stays OUTSIDE
+            # the phase because quiescence commits repairs here, and
+            # the heal/audit phases must stay top-level for honest
+            # single-count attribution.
             nonlocal recovering
-            account()
-            recovering = False
-            if bus is not None:
-                # Realized dispatch order of the drained units, FIFO
-                # across units, Theorem 3 order within each.
-                from repro.workflow.scheduler import PartialOrderScheduler
+            if prof is not None:
+                # The recovery service's simulated duration is the
+                # heal phase's sim-time side; recorded outside the
+                # schedule phase so it merges with the wall-time "heal"
+                # entry that commit_repairs records at this same depth.
+                prof.add_external("heal", 0.0,
+                                  sim=pending_service["recovery"],
+                                  calls=0)
+            with (prof.phase("schedule") if prof is not None
+                  else nullcontext()):
+                account()
+                recovering = False
+                if bus is not None:
+                    # Realized dispatch order of the drained units,
+                    # FIFO across units, Theorem 3 order within each.
+                    from repro.workflow.scheduler import (
+                        PartialOrderScheduler,
+                    )
 
-                now = min(sim.now, horizon)
+                    now = min(sim.now, horizon)
+                    for plan in unit_queue:
+                        PartialOrderScheduler(
+                            plan.order, executor=lambda action: None,
+                            bus=bus, clock=lambda: now,
+                        ).run()
                 for plan in unit_queue:
-                    PartialOrderScheduler(
-                        plan.order, executor=lambda action: None,
-                        bus=bus, clock=lambda: now,
-                    ).run()
-            for plan in unit_queue:
-                executed_uids.extend(plan.alert_uids)
-            unit_queue.clear()
+                    executed_uids.extend(plan.alert_uids)
+                unit_queue.clear()
             dispatch()
             note_state()
 

@@ -32,6 +32,7 @@ requires the alert queue to drain before recovery runs).
 from __future__ import annotations
 
 import time as _time
+from contextlib import nullcontext
 from enum import Enum
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -52,6 +53,7 @@ from repro.obs.events import (
     StateTransition,
     UnitEmitted,
 )
+from repro.obs.perf import PhaseProfiler
 from repro.workflow.data import DataStore
 from repro.workflow.log import SystemLog
 from repro.workflow.spec import WorkflowSpec
@@ -106,6 +108,14 @@ class SelfHealingSystem:
         raises :class:`~repro.errors.RecoveryError` instead of healing
         from a wrong plan.  Off by default (it re-traverses the log per
         alert).
+    profiler:
+        Optional :class:`~repro.obs.perf.PhaseProfiler`; when attached,
+        the pipeline attributes its wall time to phases — ``analyze``
+        (with the analyzer's closure/plan and the verifier's
+        ``analyze.verify`` splits), ``schedule``, ``heal`` (with the
+        healer's undo/settle/reconcile splits) — and records each
+        alert's queue dwell as the sim-time ``buffer-wait`` line item.
+        No-op when ``None``.
     """
 
     def __init__(
@@ -120,6 +130,7 @@ class SelfHealingSystem:
         clock: Optional[Callable[[], float]] = None,
         verify: bool = False,
         manager: Optional[EpochManager] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         if manager is not None:
             if (store is not None or log is not None
@@ -151,14 +162,17 @@ class SelfHealingSystem:
         # In manager mode the log and spec set roll with every heal, so
         # the analyzer is rebuilt per scan (its constructor is cheap —
         # dependency analysis is lazy); standalone mode keeps one.
+        self._profiler = profiler
         self._analyzer = (
             None if manager is not None
             else RecoveryAnalyzer(log, self._specs, bus=bus,
-                                  clock=self._clock)
+                                  clock=self._clock, profiler=profiler)
         )
         self._verify = verify
         self._heals: List[HealReport] = []
         self._last_state = self.state
+        #: uid → clock time at enqueue, for buffer-wait attribution.
+        self._enqueued_at: Dict[str, float] = {}
 
     # -- the protected world (epoch-aware in manager mode) ------------------
 
@@ -247,6 +261,8 @@ class SelfHealingSystem:
         if isinstance(alert, str):
             alert = Alert(0.0, alert)
         accepted = self._alerts.offer(alert)
+        if accepted and self._profiler is not None:
+            self._enqueued_at[alert.uid] = self._clock()
         if self._bus is not None and self._bus.active:
             cls = AlertEnqueued if accepted else AlertLost
             self._bus.publish(cls(
@@ -266,17 +282,28 @@ class SelfHealingSystem:
         if not self._alerts or self._plans.full:
             return None
         alert = self._alerts.pop()
-        analyzer = self._analyzer
-        if analyzer is None:  # manager mode: bind the current epoch
-            analyzer = RecoveryAnalyzer(
-                self._manager.log, self._manager.specs_by_instance,
-                bus=self._bus, clock=self._clock,
+        prof = self._profiler
+        if prof is not None:
+            queued_at = self._enqueued_at.pop(alert.uid, None)
+            if queued_at is not None:
+                # Queue dwell in the system clock's units (sim time when
+                # a ManualClock is injected) — no wall time burns while
+                # an alert waits, so the wall side stays zero.
+                prof.add_at(("buffer-wait",), 0.0,
+                            sim=self._clock() - queued_at)
+        with (prof.phase("analyze") if prof is not None
+              else nullcontext()):
+            analyzer = self._analyzer
+            if analyzer is None:  # manager mode: bind the current epoch
+                analyzer = RecoveryAnalyzer(
+                    self._manager.log, self._manager.specs_by_instance,
+                    bus=self._bus, clock=self._clock, profiler=prof,
+                )
+            plan = analyzer.analyze(
+                [alert], outstanding=list(self._plans)
             )
-        plan = analyzer.analyze(
-            [alert], outstanding=list(self._plans)
-        )
-        if self._verify:
-            self._check_plan(plan)
+            if self._verify:
+                self._check_plan(plan)
         self._plans.push(plan)
         if self._bus is not None and self._bus.active:
             # Stamp the queued plan's claimed blast radius so the
@@ -301,8 +328,11 @@ class SelfHealingSystem:
         """
         from repro.lint.plan_verifier import verify_plan
 
-        findings = verify_plan(self._current_log(), self._current_specs(),
-                               plan)
+        prof = self._profiler
+        with (prof.phase("analyze.verify") if prof is not None
+              else nullcontext()):
+            findings = verify_plan(self._current_log(),
+                                   self._current_specs(), plan)
         if findings:
             detail = "; ".join(
                 f"{d.rule}: {d.message}" for d in findings[:3]
@@ -338,19 +368,26 @@ class SelfHealingSystem:
             uids.extend(plan.alert_uids)
         uids.extend(extra_uids)
         observed = self._bus is not None and self._bus.active
+        prof = self._profiler
         started = self._clock() if observed else 0.0
         if observed:
             self._bus.publish(HealStarted(started, malicious=tuple(uids)))
-            self._publish_schedule(plans)
-        if self._manager is not None:
-            # The manager heals against its epoch baseline and rolls the
-            # epoch, so the system keeps protecting the post-heal world.
-            report = self._manager.heal(uids, bus=self._bus,
-                                        clock=self._clock)
-        else:
-            healer = Healer(self._store, self._log, self._specs,
-                            bus=self._bus, clock=self._clock)
-            report = healer.heal(uids)
+            with (prof.phase("schedule") if prof is not None
+                  else nullcontext()):
+                self._publish_schedule(plans)
+        with (prof.phase("heal") if prof is not None else nullcontext()):
+            if self._manager is not None:
+                # The manager heals against its epoch baseline and rolls
+                # the epoch, so the system keeps protecting the
+                # post-heal world.
+                report = self._manager.heal(uids, bus=self._bus,
+                                            clock=self._clock,
+                                            profiler=prof)
+            else:
+                healer = Healer(self._store, self._log, self._specs,
+                                bus=self._bus, clock=self._clock,
+                                profiler=prof)
+                report = healer.heal(uids)
         self._heals.append(report)
         if observed:
             now = self._clock()

@@ -555,3 +555,38 @@ class TestFuzz:
         with pytest.raises(SystemExit) as exc:
             main(["fuzz", "--inject", "meltdown"])
         assert exc.value.code == 2
+
+
+class TestProfile:
+    def test_fullstack_profile_table(self, capsys, tmp_path):
+        flame = tmp_path / "prof.folded"
+        chrome = tmp_path / "prof.trace.json"
+        blob = tmp_path / "prof.json"
+        assert main(["profile", "--horizon", "20", "--seed", "7",
+                     "--flame", str(flame), "--chrome", str(chrome),
+                     "--json", str(blob)]) == 0
+        out = capsys.readouterr().out
+        assert "attribution" in out
+        assert "closure_recomputations" in out
+        assert "structure digest" in out
+        import json as _json
+        folded = flame.read_text().splitlines()
+        assert any(line.startswith("repro;analyze;analyze.closure ")
+                   for line in folded)
+        trace = _json.loads(chrome.read_text())
+        assert trace["traceEvents"]
+        payload = _json.loads(blob.read_text())
+        assert payload["scenario"] == "fullstack"
+        assert payload["attribution"] >= 0.95
+
+    def test_fleet_profile_snapshot_json(self, capsys, tmp_path):
+        blob = tmp_path / "fleet.json"
+        assert main(["profile", "--scenario", "fleet", "--tenants", "3",
+                     "--duration", "10", "--seed", "3",
+                     "--json", str(blob)]) == 0
+        out = capsys.readouterr().out
+        assert "attribution" in out
+        import json as _json
+        payload = _json.loads(blob.read_text())
+        assert set(payload) == {"fleet", "tenants", "ticks"}
+        assert payload["fleet"]["attribution"] >= 0.95

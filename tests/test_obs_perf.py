@@ -1,0 +1,371 @@
+"""Tests for the wall-clock profiling layer (`repro.obs.perf`).
+
+Covers the accumulator's nesting/self-time algebra with injected
+clocks (fully deterministic), the attribution and structure-digest
+acceptance criteria on the real fullstack / batch / fleet scenarios,
+the registry histogram mirror, and the strategy-parameterized
+conformance packs that ride the same PR.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.strategies import RecoveryStrategy
+from repro.errors import ObsError
+from repro.fleet import FleetConfig, FleetControlPlane
+from repro.fleet.workload import resolve_mix
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import (
+    ConformanceMonitor,
+    replay_conformance,
+    strict_property_pack,
+)
+from repro.obs.perf import (
+    PHASES,
+    PhaseProfiler,
+    PhaseSink,
+    bump,
+    counter_snapshot,
+)
+from repro.sim.batch import ParallelSlowdownWarning, run_fullstack_batch
+from repro.sim.fullstack import FullStackConfig, run_replication
+
+
+class FakeClock:
+    """Injectable wall clock: time only moves when the test says so."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def rows_by_path(report):
+    return {r["path"]: r for r in report.rows}
+
+
+class TestPhaseAlgebra:
+    def test_nested_paths_self_time_and_attribution(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(wall_clock=clock).start()
+        with prof.phase("analyze"):
+            clock.advance(1.0)
+            with prof.phase("analyze.closure"):
+                clock.advance(2.0)
+        clock.advance(1.0)  # un-instrumented driver time
+        prof.stop()
+        report = prof.report("unit")
+        rows = rows_by_path(report)
+        assert rows["analyze"]["wall"] == pytest.approx(3.0)
+        assert rows["analyze"]["wall_self"] == pytest.approx(1.0)
+        assert rows["analyze;analyze.closure"]["wall"] == pytest.approx(2.0)
+        assert rows["analyze;analyze.closure"]["depth"] == 1
+        assert report.total_wall == pytest.approx(4.0)
+        assert report.attribution == pytest.approx(0.75)
+
+    def test_rows_follow_canonical_phase_order(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(wall_clock=clock).start()
+        # Recorded in reverse of the pipeline order on purpose.
+        for name in ("audit", "heal", "analyze", "detect"):
+            with prof.phase(name):
+                clock.advance(0.5)
+        prof.stop()
+        names = [r["path"] for r in prof.report().rows]
+        assert names == ["detect", "analyze", "heal", "audit"]
+        assert all(n in PHASES for n in names)
+
+    def test_aux_roots_are_detail_not_coverage(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(wall_clock=clock).start()
+        with prof.phase("tick"):
+            clock.advance(1.0)
+        # Folded worker-thread time: ran concurrently with the tick,
+        # so counting it would push attribution past 1.
+        prof.add_at(("workers", "t0", "detect"), 5.0, calls=3)
+        prof.stop()
+        counted = prof.report("fleet", aux_roots=("workers",))
+        assert counted.attribution == pytest.approx(1.0)
+        naive = prof.report("fleet")
+        assert naive.attribution == 1.0  # capped, would be 6x
+        assert rows_by_path(counted)["workers;t0;detect"]["calls"] == 3
+
+    def test_structure_digest_ignores_wall_times_only(self):
+        def run(per_phase):
+            clock = FakeClock()
+            prof = PhaseProfiler(wall_clock=clock).start()
+            for _ in range(3):
+                with prof.phase("detect"):
+                    clock.advance(per_phase)
+            prof.stop()
+            return prof.report("unit")
+
+        assert run(0.1).structure_digest() == run(9.0).structure_digest()
+        slow = run(0.1)
+        extra = run(0.1)
+        extra.rows[0]["calls"] += 1
+        assert slow.structure_digest() != extra.structure_digest()
+
+    def test_report_before_start_is_loud(self):
+        with pytest.raises(ObsError):
+            PhaseProfiler().report()
+        with pytest.raises(ObsError):
+            PhaseProfiler().stop()
+
+    def test_live_report_while_running(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(wall_clock=clock).start()
+        with prof.phase("detect"):
+            clock.advance(1.0)
+        clock.advance(1.0)
+        assert prof.running
+        live = prof.report()  # provisional: interval still open
+        assert live.total_wall == pytest.approx(2.0)
+        clock.advance(2.0)
+        prof.stop()
+        assert prof.report().total_wall == pytest.approx(4.0)
+        assert not prof.running
+
+    def test_counters_report_the_runs_delta(self):
+        bump("closure_recomputations", 7)  # pre-existing global noise
+        prof = PhaseProfiler(wall_clock=FakeClock()).start()
+        prof.count("closure_recomputations", 3)
+        prof.stop()
+        report = prof.report()
+        assert report.counters["closure_recomputations"] == 3
+        assert counter_snapshot()["closure_recomputations"] >= 10
+
+    def test_absorb_folds_sink_under_prefix(self):
+        sink = PhaseSink()
+        with sink.phase("detect"):
+            pass
+        sink.add("heal", 2.0, sim=1.5, calls=4)
+        prof = PhaseProfiler(wall_clock=FakeClock()).start()
+        prof.absorb(sink, prefix=("workers", "t1"))
+        prof.stop()
+        rows = rows_by_path(prof.report())
+        assert rows["workers;t1;heal"]["calls"] == 4
+        assert rows["workers;t1;heal"]["sim"] == pytest.approx(1.5)
+
+    def test_collapsed_stack_format(self):
+        clock = FakeClock()
+        prof = PhaseProfiler(wall_clock=clock).start()
+        with prof.phase("analyze"):
+            with prof.phase("analyze.plan"):
+                clock.advance(0.002)
+        prof.stop()
+        lines = prof.report().collapsed().splitlines()
+        assert lines[0] == "repro;analyze 0"
+        assert lines[1] == "repro;analyze;analyze.plan 2000"
+
+
+class TestRegistryMirror:
+    def test_phase_exits_observe_labeled_histograms(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        prof = PhaseProfiler(wall_clock=clock)
+        prof.bind_registry(registry)
+        prof.start()
+        for _ in range(2):
+            with prof.phase("analyze"):
+                clock.advance(0.001)
+                with prof.phase("analyze.closure"):
+                    clock.advance(0.001)
+        prof.stop()
+        text = render_prometheus(registry)
+        assert 'repro_phase_wall_seconds_count{phase="analyze"} 2' in text
+        # Leaf name, not the full path: bounded label cardinality.
+        assert 'phase="analyze.closure"' in text
+        assert "analyze;analyze.closure" not in text
+
+
+class TestFullstackAttribution:
+    def test_attribution_digest_and_closure_line_item(self):
+        config = FullStackConfig(arrival_rate=6.0, alert_buffer=4,
+                                 recovery_buffer=4)
+
+        def once():
+            prof = PhaseProfiler().start()
+            run_replication(config, horizon=30.0, seed=7, profiler=prof)
+            prof.stop()
+            return prof.report("fullstack")
+
+        first, second = once(), once()
+        assert first.structure_digest() == second.structure_digest()
+        assert first.attribution >= 0.95
+        rows = rows_by_path(first)
+        # ROADMAP 2b's measured line item: the closure is re-derived on
+        # every analyzer scan, once per processed alert.
+        closure = first.counters["closure_recomputations"]
+        assert closure >= 1
+        assert closure == rows["analyze"]["calls"]
+        assert rows["analyze;analyze.closure"]["wall"] >= 0.0
+
+
+class TestBatchProfile:
+    CONFIG = FullStackConfig(arrival_rate=6.0, alert_buffer=4,
+                             recovery_buffer=4)
+
+    def test_inline_batch_nests_replication_phases(self):
+        prof = PhaseProfiler().start()
+        run_fullstack_batch(self.CONFIG, horizon=8.0, replications=2,
+                            workers=1, seed=7, profiler=prof)
+        prof.stop()
+        report = prof.report("batch-inline")
+        rows = rows_by_path(report)
+        assert rows["batch.worker"]["calls"] == 2
+        assert any(p.startswith("batch.worker;detect")
+                   for p in rows), "deep phases must nest under worker"
+        assert report.attribution >= 0.95
+
+    def test_parallel_batch_accounts_fan_out_and_warns(self):
+        # Tiny work, real process pool: spawn dwarfs compute, so the
+        # <1 "speedup" fires the loud warning (ROADMAP 2a, satellite 3).
+        prof = PhaseProfiler().start()
+        with pytest.warns(ParallelSlowdownWarning, match="slower"):
+            batch = run_fullstack_batch(
+                self.CONFIG, horizon=2.0, replications=2,
+                workers=2, seed=7, profiler=prof)
+        prof.stop()
+        assert batch.speedup_lt_1
+        assert batch.speedup < 1.0
+        assert batch.fan_out_overhead > 0.0
+        report = prof.report("batch-parallel")
+        rows = rows_by_path(report)
+        assert rows["batch.spawn"]["wall"] > 0.0
+        assert rows["batch.fan-out"]["wall"] == pytest.approx(
+            batch.fan_out_overhead)
+        assert rows["batch.worker"]["calls"] == 2
+        assert report.counters["pickle_bytes"] > 0
+
+
+@pytest.fixture(scope="module")
+def profiled_fleet():
+    """One profiled small fleet run (profiler started *after*
+    construction — setup's CTMC solves belong to calibration)."""
+    prof = PhaseProfiler()
+    plane = FleetControlPlane(
+        FleetConfig(tenants=3, duration=10.0, workers=2, seed=3),
+        profiler=prof,
+    )
+    prof.start()
+    plane.run()
+    prof.stop()
+    return plane
+
+
+class TestFleetProfile:
+    def test_attribution_meets_the_floor(self, profiled_fleet):
+        report = profiled_fleet.profile_report()
+        assert report.attribution >= 0.95
+        paths = [r["path"] for r in report.rows]
+        assert "tick" in paths
+        assert any(p.startswith("workers;t") for p in paths)
+
+    def test_snapshot_has_per_tenant_and_per_tick_tables(
+            self, profiled_fleet):
+        snap = profiled_fleet.profile_snapshot()
+        assert set(snap) == {"fleet", "tenants", "ticks"}
+        assert snap["fleet"]["attribution"] >= 0.95
+        assert len(snap["tenants"]) == 3
+        for tenant_rows in snap["tenants"].values():
+            assert all(";" not in r["path"].split(";")[0]
+                       for r in tenant_rows)
+        assert snap["ticks"], "per-tick breakdowns must accumulate"
+
+    def test_fleet_histograms_reach_the_shared_registry(
+            self, profiled_fleet):
+        text = render_prometheus(profiled_fleet.registry)
+        assert "repro_phase_wall_seconds" in text
+        assert 'phase="detect"' in text  # observed from shard threads
+
+    def test_unprofiled_plane_refuses_profile_report(self):
+        plane = FleetControlPlane(FleetConfig(tenants=2, duration=5.0))
+        with pytest.raises(ObsError, match="without a profiler"):
+            plane.profile_report()
+
+    def test_structure_digest_is_stable_run_to_run(self):
+        def once():
+            prof = PhaseProfiler()
+            plane = FleetControlPlane(
+                FleetConfig(tenants=2, duration=8.0, workers=2, seed=5),
+                profiler=prof,
+            )
+            prof.start()
+            plane.run()
+            prof.stop()
+            return plane.profile_report().structure_digest()
+
+        assert once() == once()
+
+
+class TestStrategyPacks:
+    def test_risk_normal_only_drops_heal_bracketing(self):
+        strict = {p.name for p in strict_property_pack()}
+        relaxed = {p.name for p in strict_property_pack(
+            RecoveryStrategy.RISK_NORMAL_ONLY)}
+        assert strict - relaxed == {"task-within-heal"}
+        # RISK_ALL still promises bracketed repairs: full pack.
+        risk_all = {p.name for p in strict_property_pack(
+            RecoveryStrategy.RISK_ALL)}
+        assert risk_all == strict
+
+    def test_monitor_summary_names_its_strategy(self):
+        monitor = ConformanceMonitor(
+            strategy=RecoveryStrategy.RISK_NORMAL_ONLY)
+        assert monitor.summary()["strategy"] == "risk_normal_only"
+        assert "task-within-heal" not in {p.name
+                                          for p in monitor.properties}
+        assert replay_conformance(
+            [], strategy=RecoveryStrategy.RISK_NORMAL_ONLY
+        ).strategy is RecoveryStrategy.RISK_NORMAL_ONLY
+
+    def test_mixed_fleet_rollup_counts_by_strategy(self):
+        base = resolve_mix(["figure1"])[0]
+        relaxed = dataclasses.replace(
+            base, strategy=RecoveryStrategy.RISK_NORMAL_ONLY)
+        plane = FleetControlPlane(
+            FleetConfig(tenants=2, duration=10.0, seed=2),
+            profiles=[base, relaxed],
+        )
+        plane.run()
+        health = plane.health()
+        assert health.by_strategy == {"risk_normal_only": 1, "strict": 1}
+        payload = health.as_dict()
+        assert payload["by_strategy"] == health.by_strategy
+        strategies = {row["tenant"]: row["strategy"]
+                      for row in payload["worst_tenants"]}
+        assert sorted(strategies.values()) == ["risk_normal_only",
+                                               "strict"]
+
+    def test_effective_health_config_authority(self):
+        base = resolve_mix(["figure1"])[0]
+        assert base.strategy is RecoveryStrategy.STRICT
+        assert base.effective_health_config() is base.health_config
+        relaxed = dataclasses.replace(
+            base, strategy=RecoveryStrategy.RISK_NORMAL_ONLY)
+        cfg = relaxed.effective_health_config()
+        assert cfg.strategy is RecoveryStrategy.RISK_NORMAL_ONLY
+
+
+class TestDeterminismUnderProfiling:
+    def test_profiler_does_not_perturb_the_run(self):
+        """Profiling is observation only: the simulated results of a
+        seeded run are identical with and without a profiler."""
+        config = FullStackConfig(arrival_rate=6.0, alert_buffer=4,
+                                 recovery_buffer=4)
+        bare = run_replication(config, horizon=20.0, seed=11)
+        prof = PhaseProfiler().start()
+        profiled = run_replication(config, horizon=20.0, seed=11,
+                                   profiler=prof)
+        prof.stop()
+        assert bare.heals == profiled.heals
+        assert bare.alerts_lost == profiled.alerts_lost
+        assert bare.repaired_instances == profiled.repaired_instances
+        assert bare.category_occupancy == profiled.category_occupancy

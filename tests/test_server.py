@@ -95,7 +95,9 @@ class TestBareServer:
         with TelemetryServer() as server:
             status, _, body = _get(server.url + "/nope")
         assert status == 404
-        assert json.loads(body)["paths"] == ["/metrics", "/healthz", "/slo"]
+        assert json.loads(body)["paths"] == [
+            "/metrics", "/healthz", "/slo", "/profile",
+        ]
 
 
 class TestMonitoredEndpoints:
@@ -241,3 +243,130 @@ class TestFleetEndpoints:
         assert status == 200
         assert "repro_fleet_attacks_total" in text
         assert "repro_fleet_detect_heal_latency" in text
+
+
+class TestProfileEndpoint:
+    def _profiler(self):
+        from repro.obs.perf import PhaseProfiler
+
+        prof = PhaseProfiler().start()
+        with prof.phase("detect"):
+            pass
+        with prof.phase("analyze"):
+            with prof.phase("analyze.closure"):
+                pass
+        prof.stop()
+        return prof
+
+    def test_profile_404_without_profiler(self):
+        with TelemetryServer() as server:
+            status, _, body = _get(server.url + "/profile")
+        assert status == 404
+        assert "no profiler" in json.loads(body)["error"]
+
+    def test_profile_json_payload(self):
+        with TelemetryServer(profiler=self._profiler()) as server:
+            status, ctype, body = _get(server.url + "/profile")
+        payload = json.loads(body)
+        assert status == 200 and "json" in ctype
+        paths = [r["path"] for r in payload["phases"]]
+        assert paths == ["detect", "analyze", "analyze;analyze.closure"]
+        assert 0.0 <= payload["attribution"] <= 1.0
+        assert len(payload["structure_digest"]) == 64
+
+    def test_profile_collapsed_rendering(self):
+        with TelemetryServer(profiler=self._profiler()) as server:
+            status, ctype, body = _get(
+                server.url + "/profile?format=collapsed")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        lines = body.decode("utf-8").splitlines()
+        assert all(line.startswith("repro;") for line in lines)
+        assert any(line.startswith("repro;analyze;analyze.closure ")
+                   for line in lines)
+
+    def test_fleet_profile_serves_the_snapshot(self):
+        from repro.fleet import FleetConfig, FleetControlPlane
+        from repro.obs.perf import PhaseProfiler
+
+        prof = PhaseProfiler()
+        plane = FleetControlPlane(
+            FleetConfig(tenants=2, duration=10.0, seed=5),
+            profiler=prof,
+        )
+        prof.start()
+        plane.run()
+        prof.stop()
+        with TelemetryServer(registry=plane.registry,
+                             fleet=plane) as server:
+            status, _, body = _get(server.url + "/profile")
+        payload = json.loads(body)
+        assert status == 200
+        assert set(payload) == {"fleet", "tenants", "ticks"}
+        assert len(payload["tenants"]) == 2
+
+    def test_unprofiled_fleet_profile_is_404(self, fleet_server):
+        server, _ = fleet_server
+        status, _, body = _get(server.url + "/profile")
+        assert status == 404
+        assert "without a profiler" in json.loads(body)["error"]
+
+
+class TestProfileHammer:
+    """Satellite: /metrics + /slo + /profile scraped concurrently
+    while the fleet is mid-run.
+
+    The server contract is that a driver mutating shared state wraps
+    each mutation in ``server.lock`` — so the test drives the tick
+    loop by hand under the lock while four scraper threads hammer
+    every endpoint.  Every response must be a well-formed 200; a
+    torn read would surface as a 500 or a JSON parse error.
+    """
+
+    def test_concurrent_scrapes_during_fleet_ticks(self):
+        import threading
+
+        from repro.fleet import FleetConfig, FleetControlPlane, WorkerPool
+        from repro.obs.perf import PhaseProfiler
+
+        prof = PhaseProfiler()
+        config = FleetConfig(tenants=3, duration=20.0, workers=2, seed=4)
+        plane = FleetControlPlane(config, profiler=prof)
+        prof.start()
+        failures = []
+        counts = {}
+        stop = threading.Event()
+
+        def scrape(path):
+            while not stop.is_set():
+                status, _, body = _get(server.url + path)
+                if status != 200:
+                    failures.append((path, status, body[:200]))
+                    return
+                if "json" in path or path in ("/slo", "/profile"):
+                    payload = json.loads(body)
+                    if path == "/profile":
+                        # Live snapshot: provisional but consistent.
+                        assert payload["fleet"]["total_wall"] > 0.0
+                counts[path] = counts.get(path, 0) + 1
+
+        paths = ("/metrics", "/slo", "/profile",
+                 "/profile?format=collapsed")
+        with TelemetryServer(registry=plane.registry,
+                             fleet=plane) as server:
+            threads = [threading.Thread(target=scrape, args=(p,))
+                       for p in paths]
+            for t in threads:
+                t.start()
+            ticks = int(round(config.duration / config.tick))
+            with WorkerPool(config.workers) as pool:
+                for _ in range(ticks):
+                    with server.lock:
+                        plane.run_tick(pool)
+            stop.set()
+            for t in threads:
+                t.join()
+        prof.stop()
+        assert not failures, failures
+        assert all(counts.get(p, 0) > 0 for p in paths), counts
+        assert plane.profile_report().attribution > 0.0
