@@ -937,9 +937,14 @@ def cmd_fleet(args) -> int:
     ``/slo?tenant=ID`` the drill-down, ``/healthz`` probes the worst-of
     verdict.
 
+    ``--sanitize`` runs the same fleet under the dynamic race
+    sanitizer (Eraser-style lockset checking on the registry, bus,
+    central queue and shards) and fails with exit 2 on any violation.
+
     Exit code 0 when every tenant audits strictly correct and the
-    fleet's final verdict is not BREACH; 1 otherwise; 3 on domain
-    errors (unknown archetypes, invalid counts).
+    fleet's final verdict is not BREACH; 1 otherwise; 2 on sanitizer
+    violations; 3 on domain errors (unknown archetypes, invalid
+    counts).
     """
     from repro.fleet import FleetConfig, FleetControlPlane
 
@@ -952,7 +957,11 @@ def cmd_fleet(args) -> int:
         central_capacity=args.central_capacity,
         seed=args.seed,
     )
-    plane = FleetControlPlane(config)
+    sanitizer = None
+    if args.sanitize:
+        from repro.lint.sanitizer import RaceSanitizer
+        sanitizer = RaceSanitizer()
+    plane = FleetControlPlane(config, sanitizer=sanitizer)
     print(f"fleet: {config.tenants} tenant(s), mix "
           f"{'/'.join(config.mix)}, duration {config.duration:g}, "
           f"{config.workers} worker(s), seed {config.seed}")
@@ -989,6 +998,17 @@ def cmd_fleet(args) -> int:
                            t.report.losses, t.heals)
         print()
         print(detail.render())
+
+    if sanitizer is not None:
+        stats = sanitizer.summary()
+        print()
+        print(f"sanitizer: {stats['accesses']} access(es) over "
+              f"{stats['tracked_vars']} var(s), {stats['locks']} lock(s), "
+              f"{stats['barriers']} barrier(s), "
+              f"{stats['violations']} violation(s)")
+        if sanitizer.violations:
+            print(sanitizer.report().render_text())
+            return 2
 
     ok = audits_ok and health.verdict.value != "BREACH"
     if args.serve is not None:
@@ -1064,7 +1084,9 @@ def cmd_lint(args) -> int:
     sets (JSON documents or built-in scenarios), 'plan' re-derives the
     paper's Theorems 1-3 over a flight log's recovery provenance with
     independent code, 'code' scans Python sources for replay-poisonous
-    nondeterminism.  Exit code 2 when any ERROR-level finding exists."""
+    nondeterminism ('code --all' also runs the race pass and merges
+    both into one report), 'races' runs the static lockset/lock-order
+    analysis alone.  Exit code 2 when any ERROR-level finding exists."""
     from repro.lint import LintReport
 
     if args.pass_ == "spec":
@@ -1099,11 +1121,42 @@ def cmd_lint(args) -> int:
             diags.extend(verify_flight_log(load_flight_log(path)))
         return _emit_report(args, LintReport(diags))
 
+    paths = args.files or ["src/repro"]
+
+    if args.pass_ == "races":
+        from repro.lint import lint_races
+
+        return _emit_report(args, LintReport(lint_races(paths)))
+
     # code
     from repro.lint import lint_paths
 
-    paths = args.files or ["src/repro"]
-    return _emit_report(args, LintReport(lint_paths(paths)))
+    if not getattr(args, "all", False):
+        return _emit_report(args, LintReport(lint_paths(paths)))
+
+    # code --all: determinism + races in one report.  SARIF keeps the
+    # passes as separate runs with distinct tool.driver names so a
+    # viewer can tell which analyzer produced each result; text/json
+    # merge into one finding list.
+    from repro.lint import combine_sarif, lint_races
+
+    det = LintReport(lint_paths(paths))
+    races = LintReport(lint_races(paths))
+    if args.format == "sarif":
+        text = combine_sarif([
+            ("repro-lint-determinism", det),
+            ("repro-lint-races", races),
+        ])
+        if args.out and args.out != "-":
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"{len(det) + len(races)} finding(s) written to "
+                  f"{args.out} (sarif)")
+        else:
+            print(text)
+        return max(det.exit_code, races.exit_code)
+    merged = LintReport(list(det) + list(races))
+    return _emit_report(args, merged)
 
 
 def _budget_seconds(text: str) -> float:
@@ -1495,14 +1548,23 @@ def build_parser() -> argparse.ArgumentParser:
                    default=60.0,
                    help="how long to serve before exiting (default "
                         "60; 0: until interrupted)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the dynamic race sanitizer "
+                        "(Eraser-style lockset checks on registry/bus/"
+                        "queue/shards); exit 2 on any violation")
     p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser("lint", help=cmd_lint.__doc__)
     p.add_argument("pass_", metavar="pass",
-                   choices=["spec", "plan", "code"],
+                   choices=["spec", "plan", "code", "races"],
                    help="spec: workflow documents / scenarios; plan: "
                         "flight-log recovery provenance; code: Python "
-                        "sources")
+                        "sources (determinism); races: static "
+                        "lockset/lock-order analysis")
+    p.add_argument("--all", action="store_true",
+                   help="code pass: also run the race analysis and "
+                        "merge both reports (SARIF keeps one run per "
+                        "analyzer)")
     p.add_argument("files", nargs="*",
                    help="inputs for the pass — workflow JSON documents "
                         "('-' for stdin), flight logs, or source "

@@ -39,7 +39,7 @@ from __future__ import annotations
 from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FleetError, ObsError
 from repro.fleet.pool import WorkerPool
@@ -203,11 +203,17 @@ class FleetControlPlane:
         bus: Optional[EventBus] = None,
         profiles: Optional[Sequence[TenantProfile]] = None,
         profiler: Optional[PhaseProfiler] = None,
+        sanitizer: Optional[Any] = None,
     ) -> None:
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
         self.bus = bus
         self._profiler = profiler
+        #: Optional dynamic race sanitizer (duck-typed:
+        #: ``instrument_fleet`` / ``barrier`` / ``note_access``, see
+        #: :class:`repro.lint.sanitizer.RaceSanitizer`).  Instrumented
+        #: at the end of __init__, fenced at every phase boundary.
+        self._sanitizer = sanitizer
         cycle = (list(profiles) if profiles is not None
                  else resolve_mix(config.mix))
         width = len(str(max(config.tenants - 1, 1)))
@@ -283,6 +289,8 @@ class FleetControlPlane:
             Tuple[str, ...], Tuple[int, float, float]] = {}
         #: Recent per-tick phase breakdowns (bounded; /profile payload).
         self._tick_profiles: Deque[Dict[str, object]] = deque(maxlen=256)
+        if sanitizer is not None:
+            sanitizer.instrument_fleet(self)
 
     # -- one scheduling round ----------------------------------------------
 
@@ -292,6 +300,7 @@ class FleetControlPlane:
         tick_end = self._ticks * self.config.tick
         self.clock.set(max(tick_end, self.clock.now))
         prof = self._profiler
+        san = self._sanitizer
 
         # The parent "tick" phase swallows the inter-round glue, so
         # top-level attribution never leaks tick-internal gaps.
@@ -303,14 +312,22 @@ class FleetControlPlane:
                 for index, shard in enumerate(self.shards):
                     accepted = shard.ingest(tick_end)
                     self._unscheduled[index].extend(accepted)
+            if san is not None:
+                san.barrier("tick.ingest")
             # Phase 2 — schedule (serial).
             with (prof.phase("tick.schedule") if prof is not None
                   else nullcontext()):
                 grants = self._schedule_round()
-            # Phase 3 — process (parallel over granted shards).
+            if san is not None:
+                san.barrier("tick.schedule")
+            # Phase 3 — process (parallel over granted shards).  The
+            # pool.map join is the real happens-before edge the barrier
+            # mirrors: worker writes are published to the main thread.
             with (prof.phase("tick.process") if prof is not None
                   else nullcontext()):
                 self._process_round(pool, grants, tick_end)
+            if san is not None:
+                san.barrier("tick.process")
             # Phase 4 — harvest (serial): fleet metrics, then shard
             # profiles.  The per-tick note runs after the phase closes
             # so its tick.harvest delta covers this very tick.
@@ -319,6 +336,8 @@ class FleetControlPlane:
                 self._harvest_serial()
                 if prof is not None:
                     self._fold_shard_profiles()
+            if san is not None:
+                san.barrier("tick.harvest")
             if prof is not None:
                 self._note_tick_profile(tick_end)
 
@@ -394,7 +413,7 @@ class FleetControlPlane:
             self._m_scans.inc(count - leftover)
             return index, leftover
 
-        results = pool.map(serve, grants)
+        results = pool.map(serve, grants)  # lint: allow[RACE005] phase-confined; sanitizer barriers fence the join
         for index, leftover in results:
             if leftover:
                 # Analyzer blocked mid-grant: the unserved alerts are
@@ -408,6 +427,14 @@ class FleetControlPlane:
     def _harvest_serial(self) -> None:
         """Fold per-shard deltas into fleet metrics (serial phase, so
         gauges and non-commutative reads stay deterministic)."""
+        if self._sanitizer is not None:
+            # The folds below read shard fields directly (no wrapped
+            # method runs), so tell the sanitizer about the cross-phase
+            # reads explicitly — it proves the ingest/process writes
+            # were fenced before the main thread read them back.
+            for shard in self.shards:
+                self._sanitizer.note_access(
+                    f"shard[{shard.tenant}]", write=False)
         attacks = sum(s.attacks for s in self.shards)
         accepted = sum(s.system.alert_queue.accepted for s in self.shards)
         lost = sum(s.alerts_lost for s in self.shards)
@@ -508,7 +535,21 @@ class FleetControlPlane:
         return {
             "fleet": report.as_dict(),
             "tenants": tenants,
-            "ticks": list(self._tick_profiles),
+            # Copy each ring entry (and its phase dicts): the payload
+            # outlives the snapshot call, and handing out aliases to
+            # the live ring would let a scraper see — or mutate —
+            # entries the next tick is still appending around.
+            "ticks": [
+                {
+                    "tick": entry["tick"],
+                    "sim_end": entry["sim_end"],
+                    "phases": {
+                        name: dict(stats)
+                        for name, stats in entry["phases"].items()  # type: ignore[union-attr]
+                    },
+                }
+                for entry in self._tick_profiles
+            ],
         }
 
     # -- the full run ------------------------------------------------------
@@ -545,6 +586,8 @@ class FleetControlPlane:
                     self.clock.set(max(end, self.clock.now))
                     grants = self._schedule_round()
                     self._process_round(pool, grants, end)
+                    if self._sanitizer is not None:
+                        self._sanitizer.barrier("drain.process")
                     self._harvest_serial()
                     if sum(s.scans + s.heals
                            for s in self.shards) == before:
@@ -558,7 +601,9 @@ class FleetControlPlane:
 
             with (prof.phase("sweep") if prof is not None
                   else nullcontext()):
-                pool.map(sweep, self.shards)
+                pool.map(sweep, self.shards)  # lint: allow[RACE005] phase-confined; sanitizer barriers fence the join
+            if self._sanitizer is not None:
+                self._sanitizer.barrier("sweep")
         # Final rollup: harvest, shard-profile fold, health freeze.
         with (prof.phase("rollup") if prof is not None
               else nullcontext()):

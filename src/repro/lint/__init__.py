@@ -18,13 +18,24 @@ records renderable as text, JSON and SARIF 2.1.0:
 - :mod:`repro.lint.determinism` — a stdlib-``ast`` pass flagging
   calls poisonous to seeded replay (wall clocks, module-level
   ``random``, set-iteration order), with an allowlist pragma
-  ``# lint: allow[RULE]``.
+  ``# lint: allow[RULE]``;
+- :mod:`repro.lint.races` — an interprocedural lockset / lock-order
+  analysis over the threaded parts of the tree (RACE001-RACE005:
+  unguarded shared writes, inconsistent guards, lock-order inversion,
+  locks held across blocking calls, mutable state escaping to
+  threads), honouring the same pragma;
+- :mod:`repro.lint.sanitizer` — the *dynamic* complement: an opt-in
+  Eraser-style lockset sanitizer (RACE101/RACE102) instrumenting the
+  registry, bus, queues and fleet shards at runtime.
 
-The ``repro-workflow lint`` CLI verb exposes all three; exit code 2
-signals ERROR-level findings.
+The ``repro-workflow lint`` CLI verb exposes the static passes
+(``lint code --all`` merges determinism + races into one SARIF log);
+``repro-workflow fleet --sanitize`` runs the dynamic one.  Exit code
+2 signals ERROR-level findings.
 """
 
 from repro.lint.diagnostics import (
+    combine_sarif,
     Diagnostic,
     LintReport,
     RuleInfo,
@@ -33,6 +44,8 @@ from repro.lint.diagnostics import (
 )
 from repro.lint.determinism import lint_paths, lint_source
 from repro.lint.plan_verifier import verify_flight_log, verify_plan
+from repro.lint.races import RaceAnalysis, analyze_paths, lint_races
+from repro.lint.sanitizer import RaceSanitizer, TrackedLock
 from repro.lint.spec_rules import (
     SpecLintConfig,
     config_from_document,
@@ -41,6 +54,7 @@ from repro.lint.spec_rules import (
 )
 
 __all__ = [
+    "combine_sarif",
     "Diagnostic",
     "LintReport",
     "RuleInfo",
@@ -52,6 +66,11 @@ __all__ = [
     "lint_specs",
     "lint_paths",
     "lint_source",
+    "lint_races",
+    "analyze_paths",
+    "RaceAnalysis",
+    "RaceSanitizer",
+    "TrackedLock",
     "verify_flight_log",
     "verify_plan",
 ]

@@ -12,9 +12,10 @@ check per site.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.obs.locks import make_lock
 
 __all__ = [
     "ObsEvent",
@@ -410,7 +411,7 @@ class EventBus:
         self._all: List[Handler] = []
         self._typed: Dict[Type[ObsEvent], List[Handler]] = {}
         self._count = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("bus")
 
     @property
     def active(self) -> bool:

@@ -16,10 +16,10 @@ typed event stream of :mod:`repro.obs.events`.
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.locks import make_lock
 from repro.obs.events import (
     AlertEnqueued,
     AlertLost,
@@ -70,13 +70,14 @@ def _labels_key(labels: LabelsArg) -> LabelsKey:
 class _Metric:
     """Common identity of every instrument.
 
-    Every instrument carries its own :class:`threading.Lock`; all
-    mutating operations (and the compound read-modify-write ones in
-    particular, such as :meth:`Gauge.inc`) hold it, so instruments can
-    be shared across the fleet worker pool without losing updates.
-    Single-field reads stay lock-free — on CPython a ``float`` load is
-    atomic, and cross-field consistency is only needed by renderers
-    that already run after the writers quiesce.
+    Every instrument carries its own lock at the ``metric`` tier of
+    the hierarchy in :mod:`repro.obs.locks`; all mutating operations
+    (and the compound read-modify-write ones in particular, such as
+    :meth:`Gauge.inc`) hold it, so instruments can be shared across
+    the fleet worker pool without losing updates.  Single-field reads
+    stay lock-free — on CPython a ``float`` load is atomic — while
+    compound reads (:meth:`Histogram.mean`,
+    :meth:`Histogram.bucket_counts`) copy under the lock.
     """
 
     kind = "untyped"
@@ -85,7 +86,7 @@ class _Metric:
         self.name = name
         self.labels = labels
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = make_lock("metric")
 
     @property
     def label_str(self) -> str:
@@ -212,13 +213,24 @@ class Histogram(_Metric):
 
     @property
     def mean(self) -> float:
-        """Mean observation (0 when empty)."""
-        return self._sum / self._count if self._count else 0.0
+        """Mean observation (0 when empty).
+
+        Reads two fields, so it takes the lock: a concurrent
+        ``observe`` between the reads would pair a new sum with an old
+        count.
+        """
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     @property
     def bucket_counts(self) -> Tuple[int, ...]:
-        """Per-bucket counts; the last entry is the ``+inf`` bucket."""
-        return tuple(self._counts)
+        """Per-bucket counts; the last entry is the ``+inf`` bucket.
+
+        Copied under the lock — handing out a snapshot taken while a
+        writer is mid-``observe`` would tear counts against sum.
+        """
+        with self._lock:
+            return tuple(self._counts)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -252,7 +264,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelsKey], _Metric] = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("registry")
 
     def _get_or_create(self, cls, name: str, labels: LabelsArg,
                        help: str, **kwargs) -> _Metric:

@@ -48,6 +48,7 @@ from urllib.parse import parse_qsl
 
 from repro.errors import FleetError, ObsError
 from repro.obs.health import HealthMonitor, SloState
+from repro.obs.locks import make_rlock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.perf import PhaseProfiler
 
@@ -164,8 +165,10 @@ class TelemetryServer:
         self._httpd: Optional[_TelemetryHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         #: Guards every render; writers mutating registry/monitor from
-        #: another thread take it around their update phase.
-        self.lock = threading.RLock()
+        #: another thread take it around their update phase.  Outermost
+        #: tier of the lock hierarchy: renders acquire registry and
+        #: metric locks underneath it.
+        self.lock = make_rlock("server")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -205,8 +208,12 @@ class TelemetryServer:
                 f"{self._host}:{self._requested_port}: {exc}"
             ) from exc
         httpd.owner = self
-        self._httpd = httpd
-        self._thread = threading.Thread(
+        # Lifecycle fields are owner-thread confined: only the thread
+        # driving start()/stop() writes them, and the serving thread
+        # never touches them.  serve_forever is internally synchronized
+        # by http.server; handlers take owner.lock around every render.
+        self._httpd = httpd  # lint: allow[RACE001] owner-thread confined lifecycle
+        self._thread = threading.Thread(  # lint: allow[RACE001,RACE005] owner-confined; server internally synchronized
             target=httpd.serve_forever,
             name="repro-telemetry",
             daemon=True,
@@ -222,8 +229,8 @@ class TelemetryServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self._httpd = None
-        self._thread = None
+        self._httpd = None  # lint: allow[RACE001] owner-thread confined lifecycle
+        self._thread = None  # lint: allow[RACE001] owner-thread confined lifecycle
 
     def __enter__(self) -> "TelemetryServer":
         return self.start()

@@ -590,3 +590,99 @@ class TestProfile:
         payload = _json.loads(blob.read_text())
         assert set(payload) == {"fleet", "tenants", "ticks"}
         assert payload["fleet"]["attribution"] >= 0.95
+
+
+class TestLintRacesCLI:
+    """The race pass and the merged `lint code --all` surface."""
+
+    RACY = (
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._v = 0\n"
+        "    def inc(self):\n"
+        "        self._v += 1\n"
+    )
+
+    def test_races_pass_on_shipped_tree_clean(self, capsys):
+        assert main(["lint", "races", "src/repro"]) == 0
+        assert "0 error" in capsys.readouterr().out
+
+    def test_races_pass_exits_two_on_unguarded_write(self, capsys,
+                                                     tmp_path):
+        racy = tmp_path / "racy.py"
+        racy.write_text(self.RACY, encoding="utf-8")
+        assert main(["lint", "races", str(racy)]) == 2
+        out = capsys.readouterr().out
+        assert "RACE001" in out
+
+    def test_code_all_merges_both_passes(self, capsys, tmp_path):
+        both = tmp_path / "both.py"
+        both.write_text("import time\nt = time.time()\n" + self.RACY,
+                        encoding="utf-8")
+        assert main(["lint", "code", str(both), "--all"]) == 2
+        out = capsys.readouterr().out
+        assert "DET001" in out and "RACE001" in out
+
+    def test_code_all_sarif_has_one_run_per_analyzer(self, capsys,
+                                                     tmp_path):
+        import json as _json
+
+        both = tmp_path / "both.py"
+        both.write_text("import time\nt = time.time()\n" + self.RACY,
+                        encoding="utf-8")
+        out_file = tmp_path / "lint.sarif"
+        assert main(["lint", "code", str(both), "--all",
+                     "--format", "sarif", "--out", str(out_file)]) == 2
+        sarif = _json.loads(out_file.read_text())
+        names = [run["tool"]["driver"]["name"] for run in sarif["runs"]]
+        assert names == ["repro-lint-determinism", "repro-lint-races"]
+        det_rules, race_rules = (
+            {r["ruleId"] for r in run["results"]}
+            for run in sarif["runs"])
+        assert "DET001" in det_rules
+        assert "RACE001" in race_rules
+
+    def test_code_all_sarif_clean_tree_exits_zero(self, capsys, tmp_path):
+        import json as _json
+
+        out_file = tmp_path / "lint.sarif"
+        assert main(["lint", "code", "src/repro", "--all",
+                     "--format", "sarif", "--out", str(out_file)]) == 0
+        sarif = _json.loads(out_file.read_text())
+        assert len(sarif["runs"]) == 2
+        assert all(run["results"] == [] for run in sarif["runs"])
+
+
+class TestFleetSanitize:
+    def test_sanitized_fleet_exits_zero_and_reports(self, capsys):
+        assert main(["fleet", "--tenants", "3", "--duration", "6",
+                     "--workers", "2", "--seed", "3",
+                     "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer:" in out
+        assert "0 violation(s)" in out
+
+    def test_violations_exit_two(self, capsys, monkeypatch):
+        # Force a violation through the sanitizer the CLI builds.
+        import threading
+
+        from repro.lint import sanitizer as san_mod
+
+        class Tripped(san_mod.RaceSanitizer):
+            def instrument_fleet(self, plane):
+                super().instrument_fleet(plane)
+                for name in ("t1", "t2"):
+                    t = threading.Thread(
+                        target=lambda: self.note_access("x", write=True),
+                        name=name)
+                    t.start()
+                    t.join()
+
+        monkeypatch.setattr(san_mod, "RaceSanitizer", Tripped)
+        code = main(["fleet", "--tenants", "2", "--duration", "3",
+                     "--workers", "2", "--sanitize"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "RACE101" in out

@@ -1,0 +1,338 @@
+"""Tests for the static lockset / lock-order race analysis.
+
+Each rule gets a minimal synthetic program that triggers it and a
+near-identical program that does not; the mutation canary proves the
+analysis catches a deleted registry lock in the *real* metrics module
+(the dynamic twin of that canary lives in test_sanitizer.py).
+"""
+
+import pytest
+
+from repro.lint.diagnostics import LintReport
+from repro.lint.races import analyze_paths, analyze_sources, lint_races
+
+THREADED_PREAMBLE = """\
+import threading
+"""
+
+
+def rules_of(result):
+    return sorted(d.rule for d in result.diagnostics)
+
+
+def analyze(source, name="mod"):
+    return analyze_sources({name: THREADED_PREAMBLE + source})
+
+
+class TestRace001UnguardedWrite:
+    SOURCE = """
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self):
+        self._value += 1
+"""
+
+    def test_unguarded_write_flagged(self):
+        result = analyze(self.SOURCE)
+        assert "RACE001" in rules_of(result)
+        (diag,) = [d for d in result.diagnostics if d.rule == "RACE001"]
+        assert "_value" in diag.message
+
+    def test_guarded_write_clean(self):
+        fixed = self.SOURCE.replace(
+            "        self._value += 1",
+            "        with self._lock:\n            self._value += 1")
+        assert rules_of(analyze(fixed)) == []
+
+    def test_init_writes_exempt(self):
+        # __init__ publishes before any thread can see the object.
+        result = analyze(self.SOURCE)
+        assert not any(d.rule == "RACE001" and "__init__" in (d.where or "")
+                       for d in result.diagnostics)
+
+    def test_lockless_class_not_in_scope(self):
+        # No lock attr -> phase-confined by design; the static pass
+        # leaves it to the dynamic sanitizer instead of crying wolf.
+        source = """
+class Bag:
+    def __init__(self):
+        self._value = 0
+
+    def inc(self):
+        self._value += 1
+"""
+        assert rules_of(analyze(source)) == []
+
+    def test_helper_called_under_lock_clean(self):
+        # Private helpers inherit the caller's lockset (must-hold
+        # intersection over call sites) — the Gauge._set_locked shape.
+        source = """
+class Gauge:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value):
+        with self._lock:
+            self._set_locked(value)
+
+    def _set_locked(self, value):
+        self._value = value
+"""
+        assert rules_of(analyze(source)) == []
+
+
+class TestRace002InconsistentGuard:
+    SOURCE = """
+class Split:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._v = 0
+
+    def via_a(self):
+        with self._a:
+            self._v += 1
+
+    def via_b(self):
+        with self._b:
+            self._v += 1
+"""
+
+    def test_two_different_locks_flagged(self):
+        result = analyze(self.SOURCE)
+        assert "RACE002" in rules_of(result)
+
+    def test_consistent_lock_clean(self):
+        fixed = self.SOURCE.replace("with self._b:", "with self._a:")
+        assert rules_of(analyze(fixed)) == []
+
+
+class TestRace003LockOrderInversion:
+    SOURCE = """
+class AB:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def ba(self):
+        with self._b:
+            with self._a:
+                pass
+"""
+
+    def test_inverted_orders_flagged(self):
+        result = analyze(self.SOURCE)
+        assert "RACE003" in rules_of(result)
+
+    def test_consistent_order_clean(self):
+        fixed = self.SOURCE.replace(
+            "        with self._b:\n            with self._a:\n",
+            "        with self._a:\n            with self._b:\n")
+        assert "RACE003" not in rules_of(analyze(fixed))
+
+    def test_interprocedural_inversion(self):
+        # a->b lexically, b->a through a call edge.
+        source = """
+class AB:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def ab(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def outer(self):
+        with self._b:
+            self._grab_a()
+
+    def _grab_a(self):
+        with self._a:
+            pass
+"""
+        assert "RACE003" in rules_of(analyze(source))
+
+
+class TestRace004BlockingUnderLock:
+    def test_wait_under_lock_flagged(self):
+        source = """
+class S:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+
+    def stall(self):
+        with self._lock:
+            self._ready.wait()
+"""
+        assert "RACE004" in rules_of(analyze(source))
+
+    def test_wait_outside_lock_clean(self):
+        source = """
+class S:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+
+    def stall(self):
+        with self._lock:
+            pass
+        self._ready.wait()
+"""
+        assert "RACE004" not in rules_of(analyze(source))
+
+
+class TestRace005EscapeToThread:
+    def test_bound_method_escape_flagged(self):
+        source = """
+class Spawner:
+    def __init__(self):
+        self.data = []
+
+    def go(self):
+        t = threading.Thread(target=self.handle)
+        t.start()
+
+    def handle(self):
+        self.data.append(1)
+"""
+        assert "RACE005" in rules_of(analyze(source))
+
+    def test_spawned_method_becomes_root(self):
+        source = """
+class Spawner:
+    def __init__(self):
+        self.data = []
+
+    def go(self):
+        t = threading.Thread(target=self.handle)
+        t.start()
+
+    def handle(self):
+        self.data.append(1)
+"""
+        result = analyze(source)
+        assert any("handle" in root.key for root in result.roots)
+
+
+class TestPragmas:
+    SOURCE = """
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self):
+        self._value += 1{pragma}
+"""
+
+    def test_pragma_suppresses(self):
+        noisy = self.SOURCE.format(pragma="")
+        quiet = self.SOURCE.format(
+            pragma="  # lint: allow[RACE001] owner-confined")
+        assert "RACE001" in rules_of(analyze(noisy))
+        assert rules_of(analyze(quiet)) == []
+
+    def test_pragma_is_rule_specific(self):
+        wrong = self.SOURCE.format(
+            pragma="  # lint: allow[RACE003] unrelated rule")
+        assert "RACE001" in rules_of(analyze(wrong))
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        # Every intentional site carries a pragma; anything new that
+        # fires here is a regression (or a new pragma decision).
+        diags = lint_races(["src/repro"])
+        assert diags == [], LintReport(diags).render_text()
+
+    def test_roots_cover_fleet_and_server(self):
+        result = analyze_paths(["src/repro"])
+        keys = " ".join(root.key for root in result.roots)
+        assert "serve" in keys       # fleet pool target
+        assert "do_GET" in keys      # HTTP handler
+
+
+class TestMutationCanary:
+    """Deleting the registry lock must be caught statically (RACE001).
+
+    The mutation rewrites every ``with self._lock:`` in the real
+    metrics module to ``if True:`` — same indentation, same AST shape,
+    no lock.  The class still *owns* the lock attribute, so the
+    lock-discipline scoping keeps it in RACE001 scope.
+    """
+
+    def _metrics_source(self):
+        with open("src/repro/obs/metrics.py", encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_pristine_metrics_clean(self):
+        result = analyze_sources(
+            {"repro.obs.metrics": self._metrics_source()})
+        assert rules_of(result) == []
+
+    def test_deleted_registry_lock_flagged(self):
+        mutated = self._metrics_source().replace(
+            "with self._lock:", "if True:")
+        assert "if True:" in mutated  # the mutation applied
+        result = analyze_sources({"repro.obs.metrics": mutated})
+        race1 = [d for d in result.diagnostics if d.rule == "RACE001"]
+        assert race1, "deleted lock not caught"
+        assert any("_metrics" in d.message for d in race1), (
+            "registry._metrics writes not flagged: "
+            + LintReport(result.diagnostics).render_text())
+
+
+class TestSharedInventory:
+    def test_shared_state_reported(self):
+        result = analyze_paths(["src/repro/obs", "src/repro/fleet"])
+        names = {entry for entry in result.shared}
+        assert any("MetricsRegistry._metrics" in n for n in names)
+
+    def test_lock_attrs_not_inventory(self):
+        result = analyze_paths(["src/repro/obs"])
+        assert not any(n.endswith("._lock") for n in result.shared)
+
+
+class TestDiagnosticsPlumbing:
+    def test_report_exit_code(self):
+        source = """
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self):
+        self._value += 1
+"""
+        result = analyze(source)
+        report = LintReport(result.diagnostics)
+        assert report.exit_code == 2  # RACE001 is ERROR
+
+    def test_sarif_rule_metadata(self):
+        source = """
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self):
+        self._value += 1
+"""
+        result = analyze(source)
+        sarif = LintReport(result.diagnostics).to_sarif(
+            tool_name="repro-lint-races")
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint-races"
+        assert any(r["id"] == "RACE001"
+                   for r in run["tool"]["driver"]["rules"])
